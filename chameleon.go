@@ -1,0 +1,158 @@
+// Package chameleon is a simulation library reproducing "CHAMELEON: A
+// Dynamically Reconfigurable Heterogeneous Memory System" (Kotra et
+// al., MICRO 2018).
+//
+// It models a single-socket heterogeneous memory system — a
+// high-bandwidth stacked DRAM next to a larger off-chip DRAM — and the
+// full space of management designs the paper evaluates:
+//
+//   - flat DDR baselines and OS-managed NUMA placement (first-touch,
+//     AutoNUMA migration),
+//   - a latency-optimised DRAM cache (Alloy),
+//   - hardware-managed Part-of-Memory (PoM) with segment-restricted
+//     remapping and competing-counter swaps,
+//   - Polymorphic Memory, and
+//   - the paper's contributions: Chameleon and Chameleon-Opt, which use
+//     ISA-Alloc/ISA-Free notifications from the OS to switch segment
+//     groups dynamically between PoM mode and cache mode.
+//
+// # Quick start
+//
+//	cfg := chameleon.DefaultConfig(256) // Table I, scaled down 256x
+//	prof, _ := chameleon.Workload("bwaves")
+//	sys, _ := chameleon.New(chameleon.Options{
+//		Config:   cfg,
+//		Policy:   chameleon.PolicyChameleonOpt,
+//		Workload: prof.Scale(256),
+//		Seed:     1,
+//	})
+//	res, _ := sys.Run(1_000_000)
+//	fmt.Printf("IPC %.3f, stacked hit rate %.1f%%\n",
+//		res.GeoMeanIPC, res.StackedHitRate*100)
+//
+// The experiment drivers in this package regenerate every table and
+// figure of the paper's evaluation; see EXPERIMENTS.md for the
+// paper-vs-measured record.
+package chameleon
+
+import (
+	"chameleon/internal/config"
+	"chameleon/internal/dram"
+	"chameleon/internal/experiments"
+	"chameleon/internal/osmodel"
+	"chameleon/internal/sim"
+	"chameleon/internal/trace"
+	"chameleon/internal/workload"
+)
+
+// Config is the simulated machine configuration (Table I).
+type Config = config.Config
+
+// DefaultConfig returns the paper's Table I configuration with
+// capacities (and L2/L3 sizes) divided by scale. Scale 1 is the
+// full-size 4 GB + 20 GB machine.
+func DefaultConfig(scale uint64) Config { return config.Default(scale) }
+
+// Byte-size helpers re-exported for configuration arithmetic.
+const (
+	KB = config.KB
+	MB = config.MB
+	GB = config.GB
+)
+
+// Policy selects a memory-system design.
+type Policy = sim.PolicyKind
+
+// The designs of the paper's evaluation.
+const (
+	// PolicyFlat is a DDR-only baseline (set Options.BaselineBytes).
+	PolicyFlat = sim.PolicyFlat
+	// PolicyNUMAFlat exposes both memories to the OS with no hardware
+	// remapping (first-touch placement; add AutoNUMA for migration).
+	PolicyNUMAFlat = sim.PolicyNUMAFlat
+	// PolicyAlloy is the latency-optimised direct-mapped DRAM cache.
+	PolicyAlloy = sim.PolicyAlloy
+	// PolicyPoM is the hardware-managed Part-of-Memory baseline.
+	PolicyPoM = sim.PolicyPoM
+	// PolicyCAMEO is the 64 B congruence-group PoM variant.
+	PolicyCAMEO = sim.PolicyCAMEO
+	// PolicyPolymorphic is the Chung et al. comparison point.
+	PolicyPolymorphic = sim.PolicyPolymorphic
+	// PolicyChameleon is the paper's basic co-design.
+	PolicyChameleon = sim.PolicyChameleon
+	// PolicyChameleonOpt adds proactive segment remapping.
+	PolicyChameleonOpt = sim.PolicyChameleonOpt
+)
+
+// Options configure one simulation run.
+type Options = sim.Options
+
+// System is a constructed simulation.
+type System = sim.System
+
+// Result is the outcome of a run.
+type Result = sim.Result
+
+// CoreResult is one core's share of a Result.
+type CoreResult = sim.CoreResult
+
+// TimelinePoint is one sample of the optional run timeline (set
+// Options.TimelineEpochCycles).
+type TimelinePoint = sim.TimelinePoint
+
+// EnergyReport breaks a DRAM device's energy into components.
+type EnergyReport = dram.EnergyReport
+
+// New builds a simulation.
+func New(opts Options) (*System, error) { return sim.New(opts) }
+
+// Profile is a synthetic application profile.
+type Profile = trace.Profile
+
+// Workload returns one of the Table II application profiles by name
+// (at full, unscaled footprint — call Scale to match a scaled Config).
+func Workload(name string) (Profile, error) { return workload.ByName(name) }
+
+// Ref is one synthetic memory reference.
+type Ref = trace.Ref
+
+// TraceStream generates a reproducible reference stream for a profile.
+type TraceStream = trace.Stream
+
+// NewTraceStream builds a reference-stream generator; distinct seeds
+// give independent rate-mode copies.
+func NewTraceStream(p Profile, seed uint64) (*TraceStream, error) {
+	return trace.NewStream(p, seed)
+}
+
+// Workloads lists the Table II profile names.
+func Workloads() []string { return workload.Names() }
+
+// AllocPolicy selects the OS frame-allocation order.
+type AllocPolicy = osmodel.AllocPolicy
+
+// OS frame-allocation policies.
+const (
+	AllocShuffled   = osmodel.AllocShuffled
+	AllocFirstTouch = osmodel.AllocFirstTouch
+	AllocSequential = osmodel.AllocSequential
+	AllocInterleave = osmodel.AllocInterleave
+	AllocSlowFirst  = osmodel.AllocSlowFirst
+	// AllocGroupAware implements the paper's §VI-G proposal: the OS
+	// places pages to maximise segment groups that keep a free segment.
+	AllocGroupAware = osmodel.AllocGroupAware
+)
+
+// AutoNUMAConfig parameterises the Linux AutoNUMA model.
+type AutoNUMAConfig = osmodel.AutoNUMAConfig
+
+// ExperimentOptions scale and bound the per-figure experiment drivers.
+type ExperimentOptions = experiments.Options
+
+// Matrix is one simulation result per (policy, workload) pair, shared
+// by the main evaluation figures.
+type Matrix = experiments.Matrix
+
+// RunMatrix executes every evaluation policy on every selected
+// workload.
+func RunMatrix(o ExperimentOptions) (*Matrix, error) { return experiments.RunMatrix(o) }

@@ -1,0 +1,164 @@
+// Command chameleon-sim runs a single heterogeneous-memory simulation
+// and prints its statistics.
+//
+// Usage:
+//
+//	chameleon-sim -policy chameleon-opt -workload bwaves [-scale 256]
+//	              [-instr 500000] [-warmup 4000000] [-ratio 5] [-seed 42]
+//	              [-baseline-gb 20] [-autonuma 0.9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chameleon"
+	"chameleon/internal/config"
+	"chameleon/internal/osmodel"
+)
+
+var policies = map[string]chameleon.Policy{
+	"flat":          chameleon.PolicyFlat,
+	"numa-flat":     chameleon.PolicyNUMAFlat,
+	"alloy":         chameleon.PolicyAlloy,
+	"pom":           chameleon.PolicyPoM,
+	"cameo":         chameleon.PolicyCAMEO,
+	"polymorphic":   chameleon.PolicyPolymorphic,
+	"chameleon":     chameleon.PolicyChameleon,
+	"chameleon-opt": chameleon.PolicyChameleonOpt,
+}
+
+func main() {
+	var (
+		policyName = flag.String("policy", "chameleon-opt", "memory-system design (flat, numa-flat, alloy, pom, cameo, polymorphic, chameleon, chameleon-opt)")
+		wlName     = flag.String("workload", "bwaves", "Table II workload name")
+		scale      = flag.Uint64("scale", 256, "capacity scale divisor (1 = full-size 4+20 GB)")
+		instr      = flag.Uint64("instr", 500_000, "measured instructions per core")
+		warmup     = flag.Uint64("warmup", 4_000_000, "warm-up instructions per core")
+		ratio      = flag.Int("ratio", 0, "override the stacked:off-chip ratio (3, 5 or 7)")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		baselineGB = flag.Uint64("baseline-gb", 24, "flat-baseline capacity in (unscaled) GB")
+		autonuma   = flag.Float64("autonuma", 0, "enable AutoNUMA at this threshold (numa-flat only)")
+		energy     = flag.Bool("energy", false, "also report DRAM energy and bandwidth utilisation")
+		mix        = flag.String("mix", "", "comma-separated workloads, one per core round-robin (overrides -workload)")
+		groupAware = flag.Bool("group-aware", false, "use the group-aware OS allocator (paper SVI-G)")
+	)
+	flag.Parse()
+
+	if err := run(runCfg{
+		policyName: *policyName, wlName: *wlName, scale: *scale,
+		instr: *instr, warmup: *warmup, ratio: *ratio, seed: *seed,
+		baselineGB: *baselineGB, autonuma: *autonuma,
+		energy: *energy, mix: *mix, groupAware: *groupAware,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "chameleon-sim:", err)
+		os.Exit(1)
+	}
+}
+
+type runCfg struct {
+	policyName, wlName   string
+	scale, instr, warmup uint64
+	ratio                int
+	seed, baselineGB     uint64
+	autonuma             float64
+	energy               bool
+	mix                  string
+	groupAware           bool
+}
+
+func run(rc runCfg) error {
+	pk, ok := policies[rc.policyName]
+	if !ok {
+		return fmt.Errorf("unknown policy %q", rc.policyName)
+	}
+	prof, err := chameleon.Workload(rc.wlName)
+	if err != nil {
+		return err
+	}
+	cfg := chameleon.DefaultConfig(rc.scale)
+	if rc.ratio != 0 {
+		if cfg, err = cfg.WithRatio(rc.ratio); err != nil {
+			return err
+		}
+	}
+	opts := chameleon.Options{
+		Config:             cfg,
+		Policy:             pk,
+		Workload:           prof.Scale(rc.scale),
+		Seed:               rc.seed,
+		WarmupInstructions: rc.warmup,
+	}
+	if rc.mix != "" {
+		for _, name := range strings.Split(rc.mix, ",") {
+			p, err := chameleon.Workload(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			opts.Mix = append(opts.Mix, p.Scale(rc.scale))
+		}
+	}
+	if pk == chameleon.PolicyFlat {
+		opts.BaselineBytes = rc.baselineGB * config.GB / rc.scale
+	}
+	if rc.autonuma > 0 {
+		opts.AutoNUMA = &osmodel.AutoNUMAConfig{EpochCycles: 10_000_000, Threshold: rc.autonuma, ScanPages: 4096}
+	}
+	if rc.groupAware {
+		ga := chameleon.AllocGroupAware
+		opts.Alloc = &ga
+	}
+	sys, err := chameleon.New(opts)
+	if err != nil {
+		return err
+	}
+	res, err := sys.Run(rc.instr)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("policy            %s\n", res.Policy)
+	fmt.Printf("workload          %s (x%d cores)\n", res.Workload, len(res.Cores))
+	fmt.Printf("geomean IPC       %.4f\n", res.GeoMeanIPC)
+	fmt.Printf("stacked hit rate  %.2f%%\n", res.StackedHitRate*100)
+	fmt.Printf("avg mem latency   %.1f cycles\n", res.AMAT)
+	fmt.Printf("cache-mode groups %.2f%%\n", res.CacheModeFraction*100)
+	fmt.Printf("CPU utilisation   %.2f%%\n", res.CPUUtilization*100)
+	fmt.Printf("segment swaps     %d (%.1f MB moved)\n", res.Ctrl.Swaps, float64(res.Ctrl.SwapBytes)/float64(config.MB))
+	fmt.Printf("cache fills       %d, dirty writebacks %d\n", res.Ctrl.Fills, res.Ctrl.Writebacks)
+	fmt.Printf("ISA alloc/free    %d / %d (proactive moves %d, cleared %d)\n",
+		res.Ctrl.ISAAllocs, res.Ctrl.ISAFrees, res.Ctrl.ProactiveMoves, res.Ctrl.ClearedSegments)
+	fmt.Printf("page faults       %d major, %d minor (%d evictions)\n",
+		res.OS.MajorFaults, res.OS.MinorFaults, res.OS.Evictions)
+	fmt.Printf("stacked DRAM      %d reads, %d writes, %.1f%% row hits\n",
+		res.Fast.Reads, res.Fast.Writes, rowHitPct(res.Fast.RowHits, res.Fast.Reads+res.Fast.Writes))
+	fmt.Printf("off-chip DRAM     %d reads, %d writes, %.1f%% row hits\n",
+		res.Slow.Reads, res.Slow.Writes, rowHitPct(res.Slow.RowHits, res.Slow.Reads+res.Slow.Writes))
+	if len(res.NUMATimeline) > 0 {
+		fmt.Printf("autonuma          %d epochs, %d migrations, %d failures\n",
+			len(res.NUMATimeline), res.OS.Migrations, res.OS.MigrateFails)
+	}
+	if rc.energy {
+		fe, se := sys.DeviceEnergy(res.MaxCycles)
+		fu, su := sys.DeviceUtilisation(res.MaxCycles)
+		seconds := float64(res.MaxCycles) / cfg.CPU.FreqHz
+		fmt.Printf("stacked energy    %.2f mJ (%.0f mW avg), %.1f%% bus utilisation\n",
+			fe.TotalNJ()/1e6, fe.AveragePowerMW(seconds), fu*100)
+		fmt.Printf("off-chip energy   %.2f mJ (%.0f mW avg), %.1f%% bus utilisation\n",
+			se.TotalNJ()/1e6, se.AveragePowerMW(seconds), su*100)
+	}
+	fmt.Println("\nper-core results:")
+	for i, c := range res.Cores {
+		fmt.Printf("  core %2d: IPC %.4f  MPKI %6.2f  fault cycles %d\n", i, c.IPC, c.MPKI, c.FaultCycles)
+	}
+	return nil
+}
+
+func rowHitPct(hits, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total) * 100
+}

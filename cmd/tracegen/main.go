@@ -1,0 +1,73 @@
+// Command tracegen dumps a synthetic memory-reference trace for one of
+// the Table II workload profiles, for inspection or for feeding other
+// simulators. Each output line is "<gap> <vaddr-hex> <R|W>".
+//
+// Usage:
+//
+//	tracegen -workload mcf -n 1000 [-scale 256] [-seed 1] [-stats]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"chameleon"
+)
+
+func main() {
+	var (
+		wlName = flag.String("workload", "bwaves", "Table II workload name")
+		n      = flag.Uint64("n", 1000, "number of references to emit")
+		scale  = flag.Uint64("scale", 256, "footprint scale divisor")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		stats  = flag.Bool("stats", false, "print summary statistics instead of the trace")
+	)
+	flag.Parse()
+	if err := run(*wlName, *n, *scale, *seed, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wlName string, n, scale, seed uint64, statsOnly bool) error {
+	prof, err := chameleon.Workload(wlName)
+	if err != nil {
+		return err
+	}
+	prof = prof.Scale(scale)
+	st, err := chameleon.NewTraceStream(prof, seed)
+	if err != nil {
+		return err
+	}
+	if statsOnly {
+		var instr, writes, maxAddr uint64
+		for i := uint64(0); i < n; i++ {
+			r := st.Next()
+			instr += r.Gap
+			if r.Write {
+				writes++
+			}
+			if r.VAddr > maxAddr {
+				maxAddr = r.VAddr
+			}
+		}
+		fmt.Printf("workload      %s (scale %d)\n", prof.Name, scale)
+		fmt.Printf("references    %d over %d instructions (%.1f refs/KI)\n", n, instr, float64(n)/float64(instr)*1000)
+		fmt.Printf("write share   %.1f%%\n", float64(writes)/float64(n)*100)
+		fmt.Printf("max address   %#x (footprint %#x)\n", maxAddr, prof.FootprintBytes)
+		return nil
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i := uint64(0); i < n; i++ {
+		r := st.Next()
+		rw := 'R'
+		if r.Write {
+			rw = 'W'
+		}
+		fmt.Fprintf(w, "%d %#x %c\n", r.Gap, r.VAddr, rw)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package chameleon_test
+
+import (
+	"fmt"
+	"log"
+
+	"chameleon"
+)
+
+// Example runs the smallest useful simulation: one Table II workload on
+// the Chameleon-Opt memory system, on a machine scaled down 512x.
+func Example() {
+	const scale = 512
+	cfg := chameleon.DefaultConfig(scale)
+	prof, err := chameleon.Workload("miniFE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := chameleon.New(chameleon.Options{
+		Config:   cfg,
+		Policy:   chameleon.PolicyChameleonOpt,
+		Workload: prof.Scale(scale),
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run(100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Policy, res.Workload, len(res.Cores), "cores")
+	// Output: chameleon-opt miniFE 12 cores
+}
+
+// ExampleWorkloads lists the Table II application profiles.
+func ExampleWorkloads() {
+	names := chameleon.Workloads()
+	fmt.Println(len(names), "workloads, first:", names[0])
+	// Output: 14 workloads, first: GemsFDTD
+}
+
+// ExampleNewTraceStream shows raw access to the synthetic reference
+// streams that drive the simulator.
+func ExampleNewTraceStream() {
+	prof, err := chameleon.Workload("stream")
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := chameleon.NewTraceStream(prof.Scale(512), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := st.Next()
+	fmt.Println(r.Gap > 0, r.VAddr < prof.FootprintBytes)
+	// Output: true true
+}
+
+// ExampleConfig_WithRatio reproduces the paper's capacity-ratio
+// sensitivity setup (§VI-E): same total memory, different
+// stacked:off-chip splits.
+func ExampleConfig_WithRatio() {
+	cfg := chameleon.DefaultConfig(1)
+	for _, ratio := range []int{3, 5, 7} {
+		c, err := cfg.WithRatio(ratio)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("1:%d -> %d GB + %d GB\n", ratio,
+			c.Fast.CapacityBytes/chameleon.GB, c.Slow.CapacityBytes/chameleon.GB)
+	}
+	// Output:
+	// 1:3 -> 6 GB + 18 GB
+	// 1:5 -> 4 GB + 20 GB
+	// 1:7 -> 3 GB + 21 GB
+}

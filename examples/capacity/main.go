@@ -1,0 +1,56 @@
+// Capacity: the paper's Figures 4/5 in miniature — the same workload on
+// flat machines from 16 GB to 28 GB (scaled). Undersized memory
+// thrashes the SSD (page faults, poor CPU utilisation); once the
+// footprint fits, performance saturates. This is why losing OS-visible
+// capacity to a DRAM cache is expensive for large workloads, and why
+// Chameleon keeps PoM capacity when memory is tight.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"chameleon"
+)
+
+func main() {
+	const scale = 256
+	cfg := chameleon.DefaultConfig(scale)
+	prof, err := chameleon.Workload("GemsFDTD") // 22.56 GB footprint
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof = prof.Scale(scale)
+
+	fmt.Println("capacity   major-faults   cpu-util%   cycles(geomean)   speedup-vs-16GB")
+	var base float64
+	for _, gb := range []uint64{16, 18, 20, 22, 24, 26, 28} {
+		sys, err := chameleon.New(chameleon.Options{
+			Config:        cfg,
+			Policy:        chameleon.PolicyFlat,
+			BaselineBytes: gb * chameleon.GB / scale,
+			Workload:      prof,
+			Seed:          3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Run(200_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Geometric-mean execution time across the 12 copies (the
+		// paper's equation 1 uses the same aggregation).
+		logSum := 0.0
+		for _, c := range res.Cores {
+			logSum += math.Log(float64(c.Cycles))
+		}
+		cycles := math.Exp(logSum / float64(len(res.Cores)))
+		if gb == 16 {
+			base = cycles
+		}
+		fmt.Printf("%5d GB   %12d   %8.1f%%   %15.0f   %14.2fx\n",
+			gb, res.OS.MajorFaults, res.CPUUtilization*100, cycles, base/cycles)
+	}
+}

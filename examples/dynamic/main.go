@@ -1,0 +1,64 @@
+// Dynamic: the co-design reacting *during* execution. Each core
+// periodically allocates and frees a transient buffer (the §III-B
+// allocation churn), so ISA-Alloc/ISA-Free arrive mid-run and segment
+// groups flip between PoM and cache mode while the workload executes.
+// The timeline shows the cache-mode share breathing with the churn —
+// the behaviour a statically partitioned system (KNL's boot-time
+// hybrid modes, §II-C3) cannot express.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chameleon"
+)
+
+func main() {
+	const scale = 256
+	cfg := chameleon.DefaultConfig(scale)
+	prof, err := chameleon.Workload("hpccg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof = prof.Scale(scale)
+	// Leave headroom so the churn has free space to take and return.
+	prof.FootprintBytes = cfg.TotalCapacity() * 70 / 100 / 12
+
+	sys, err := chameleon.New(chameleon.Options{
+		Config:                 cfg,
+		Policy:                 chameleon.PolicyChameleonOpt,
+		Workload:               prof,
+		Seed:                   2,
+		WarmupInstructions:     1_000_000,
+		TimelineEpochCycles:    200_000,
+		PhaseAllocBytes:        cfg.TotalCapacity() / 48, // 2% of memory per core
+		PhaseEveryInstructions: 150_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run(1_200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ISA-Alloc/ISA-Free during the measured run: %d / %d\n",
+		res.Ctrl.ISAAllocs, res.Ctrl.ISAFrees)
+	fmt.Printf("proactive segment moves: %d, cleared segments: %d\n\n",
+		res.Ctrl.ProactiveMoves, res.Ctrl.ClearedSegments)
+	fmt.Println("cycle        cache-mode%   cum-hit%")
+	for _, p := range res.Timeline {
+		bar := int(p.CacheModeFraction * 40)
+		fmt.Printf("%11d   %9.1f%%   %7.1f%%  %s\n",
+			p.Cycle, p.CacheModeFraction*100, p.StackedHitRate*100, bars(bar))
+	}
+}
+
+func bars(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

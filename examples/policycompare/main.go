@@ -1,0 +1,68 @@
+// Policycompare: Figure 18 in miniature — every memory-system design on
+// one high-footprint workload, normalised to the 20 GB DDR3 baseline.
+// Expected shape (the paper's): the 24 GB baseline beats 20 GB (no page
+// faults), Alloy beats the baselines but loses capacity, PoM beats
+// Alloy, and Chameleon / Chameleon-Opt come out on top.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chameleon"
+)
+
+func main() {
+	const scale = 256
+	cfg := chameleon.DefaultConfig(scale)
+	prof, err := chameleon.Workload("leslie3d")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof = prof.Scale(scale)
+
+	type entry struct {
+		name     string
+		policy   chameleon.Policy
+		baseline uint64 // GB for flat systems
+	}
+	entries := []entry{
+		{"baseline 20GB DDR3", chameleon.PolicyFlat, 20},
+		{"baseline 24GB DDR3", chameleon.PolicyFlat, 24},
+		{"first-touch NUMA", chameleon.PolicyNUMAFlat, 0},
+		{"alloy cache", chameleon.PolicyAlloy, 0},
+		{"PoM", chameleon.PolicyPoM, 0},
+		{"polymorphic", chameleon.PolicyPolymorphic, 0},
+		{"chameleon", chameleon.PolicyChameleon, 0},
+		{"chameleon-opt", chameleon.PolicyChameleonOpt, 0},
+	}
+
+	var base float64
+	fmt.Println("design                 IPC      norm    hit%    swaps   faults")
+	for _, e := range entries {
+		opts := chameleon.Options{
+			Config:             cfg,
+			Policy:             e.policy,
+			Workload:           prof,
+			Seed:               11,
+			WarmupInstructions: 2_000_000,
+		}
+		if e.baseline != 0 {
+			opts.BaselineBytes = e.baseline * chameleon.GB / scale
+		}
+		sys, err := chameleon.New(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Run(400_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = res.GeoMeanIPC
+		}
+		fmt.Printf("%-20s  %.4f   %.3f   %5.1f   %5d   %d\n",
+			e.name, res.GeoMeanIPC, res.GeoMeanIPC/base,
+			res.StackedHitRate*100, res.Ctrl.Swaps, res.OS.MajorFaults)
+	}
+}

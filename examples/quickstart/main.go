@@ -1,0 +1,43 @@
+// Quickstart: simulate one Table II workload on the Chameleon-Opt
+// memory system and print the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chameleon"
+)
+
+func main() {
+	const scale = 256 // shrink the 4 GB + 20 GB machine 256x
+
+	cfg := chameleon.DefaultConfig(scale)
+	prof, err := chameleon.Workload("bwaves")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys, err := chameleon.New(chameleon.Options{
+		Config:             cfg,
+		Policy:             chameleon.PolicyChameleonOpt,
+		Workload:           prof.Scale(scale),
+		Seed:               1,
+		WarmupInstructions: 2_000_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := sys.Run(500_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload:          %s on %d cores\n", res.Workload, len(res.Cores))
+	fmt.Printf("geomean IPC:       %.3f\n", res.GeoMeanIPC)
+	fmt.Printf("stacked hit rate:  %.1f%%\n", res.StackedHitRate*100)
+	fmt.Printf("cache-mode groups: %.1f%%\n", res.CacheModeFraction*100)
+	fmt.Printf("segment swaps:     %d\n", res.Ctrl.Swaps)
+	fmt.Printf("avg mem latency:   %.0f cycles\n", res.AMAT)
+}

@@ -1,0 +1,137 @@
+// Package addr defines the physical address-space layout of the
+// heterogeneous memory system and the segment/segment-group arithmetic
+// used by the remapping hardware.
+//
+// The OS-visible physical address space is laid out as in the paper:
+// stacked-DRAM addresses occupy [0, FastBytes) and off-chip addresses
+// occupy [FastBytes, FastBytes+SlowBytes). The space is divided into
+// fixed-size segments; one stacked segment plus Ratio off-chip segments
+// form a segment group, and hardware remapping is restricted to segments
+// within the same group (Segment-Restricted Remapping, Sim et al. [25]).
+package addr
+
+import "fmt"
+
+// Phys is a physical byte address as seen by the OS (before hardware
+// remapping).
+type Phys uint64
+
+// Seg is a global segment index: Phys >> SegShift.
+type Seg uint32
+
+// Group identifies a segment group.
+type Group uint32
+
+// Way is a slot index within a segment group. Way 0 is the stacked-DRAM
+// slot; ways 1..Ratio are off-chip slots.
+type Way uint8
+
+// Space describes the physical address space and segment-group geometry.
+type Space struct {
+	FastBytes uint64 // stacked DRAM capacity
+	SlowBytes uint64 // off-chip DRAM capacity
+	SegBytes  uint64 // segment size
+	SegShift  uint   // log2(SegBytes)
+
+	FastSegs uint32 // number of stacked segments == number of groups
+	SlowSegs uint32 // number of off-chip segments
+	Ratio    uint8  // off-chip segments per group (SlowSegs / FastSegs)
+}
+
+// NewSpace builds the address-space geometry. The off-chip capacity must
+// be an exact integer multiple of the stacked capacity so that every
+// group has the same number of ways.
+func NewSpace(fastBytes, slowBytes, segBytes uint64) (*Space, error) {
+	if segBytes == 0 || segBytes&(segBytes-1) != 0 {
+		return nil, fmt.Errorf("addr: segment size must be a power of two, got %d", segBytes)
+	}
+	if fastBytes == 0 || fastBytes%segBytes != 0 || slowBytes%segBytes != 0 {
+		return nil, fmt.Errorf("addr: capacities (%d, %d) must be non-zero multiples of the segment size %d", fastBytes, slowBytes, segBytes)
+	}
+	if slowBytes%fastBytes != 0 {
+		return nil, fmt.Errorf("addr: off-chip capacity %d must be a multiple of stacked capacity %d", slowBytes, fastBytes)
+	}
+	var shift uint
+	for s := segBytes; s > 1; s >>= 1 {
+		shift++
+	}
+	sp := &Space{
+		FastBytes: fastBytes,
+		SlowBytes: slowBytes,
+		SegBytes:  segBytes,
+		SegShift:  shift,
+		FastSegs:  uint32(fastBytes / segBytes),
+		SlowSegs:  uint32(slowBytes / segBytes),
+		Ratio:     uint8(slowBytes / fastBytes),
+	}
+	if uint64(sp.FastSegs)*(1+uint64(sp.Ratio)) != uint64(sp.FastSegs)+uint64(sp.SlowSegs) {
+		return nil, fmt.Errorf("addr: inconsistent geometry")
+	}
+	return sp, nil
+}
+
+// TotalBytes returns the OS-visible capacity when both devices are
+// exposed as part of memory.
+func (s *Space) TotalBytes() uint64 { return s.FastBytes + s.SlowBytes }
+
+// Ways returns the number of segments per group (1 + Ratio).
+func (s *Space) Ways() int { return int(s.Ratio) + 1 }
+
+// Groups returns the number of segment groups.
+func (s *Space) Groups() uint32 { return s.FastSegs }
+
+// SegOf returns the segment containing the physical address.
+func (s *Space) SegOf(p Phys) Seg { return Seg(uint64(p) >> s.SegShift) }
+
+// BaseOf returns the first physical address of a segment.
+func (s *Space) BaseOf(seg Seg) Phys { return Phys(uint64(seg) << s.SegShift) }
+
+// InFast reports whether the physical address lies in the stacked-DRAM
+// address range.
+func (s *Space) InFast(p Phys) bool { return uint64(p) < s.FastBytes }
+
+// SegInFast reports whether the segment's home address lies in the
+// stacked-DRAM range.
+func (s *Space) SegInFast(seg Seg) bool { return uint32(seg) < s.FastSegs }
+
+// Valid reports whether p is inside the OS-visible address space.
+func (s *Space) Valid(p Phys) bool { return uint64(p) < s.TotalBytes() }
+
+// GroupOf returns the segment group and way of a segment's home slot.
+// Stacked segment g is way 0 of group g; off-chip segment index j
+// (0-based past the stacked range) is way 1 + j/FastSegs of group
+// j % FastSegs, interleaving off-chip segments across groups.
+func (s *Space) GroupOf(seg Seg) (Group, Way) {
+	if s.SegInFast(seg) {
+		return Group(seg), 0
+	}
+	j := uint32(seg) - s.FastSegs
+	return Group(j % s.FastSegs), Way(1 + j/s.FastSegs)
+}
+
+// SegAt returns the segment whose home slot is the given way of the
+// given group (the inverse of GroupOf).
+func (s *Space) SegAt(g Group, w Way) Seg {
+	if w == 0 {
+		return Seg(g)
+	}
+	return Seg(s.FastSegs + uint32(g) + (uint32(w)-1)*s.FastSegs)
+}
+
+// SlotAddr returns the physical DRAM location (device-local address) of
+// a group's way: way 0 is a stacked-DRAM address, ways >= 1 are off-chip
+// addresses relative to the start of the off-chip device.
+//
+// device: true = stacked, false = off-chip. local is the byte offset
+// within that device.
+func (s *Space) SlotAddr(g Group, w Way) (fast bool, local uint64) {
+	seg := s.SegAt(g, w)
+	base := uint64(s.BaseOf(seg))
+	if w == 0 {
+		return true, base
+	}
+	return false, base - s.FastBytes
+}
+
+// OffsetIn returns the byte offset of p within its segment.
+func (s *Space) OffsetIn(p Phys) uint64 { return uint64(p) & (s.SegBytes - 1) }

@@ -1,0 +1,229 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustSpace(t *testing.T, fast, slow, seg uint64) *Space {
+	t.Helper()
+	s, err := NewSpace(fast, slow, seg)
+	if err != nil {
+		t.Fatalf("NewSpace(%d,%d,%d): %v", fast, slow, seg, err)
+	}
+	return s
+}
+
+func TestNewSpaceGeometry(t *testing.T) {
+	s := mustSpace(t, 4<<20, 20<<20, 2048)
+	if s.FastSegs != 2048 {
+		t.Errorf("FastSegs = %d, want 2048", s.FastSegs)
+	}
+	if s.SlowSegs != 10240 {
+		t.Errorf("SlowSegs = %d, want 10240", s.SlowSegs)
+	}
+	if s.Ratio != 5 {
+		t.Errorf("Ratio = %d, want 5", s.Ratio)
+	}
+	if s.Ways() != 6 {
+		t.Errorf("Ways = %d, want 6", s.Ways())
+	}
+	if s.Groups() != s.FastSegs {
+		t.Errorf("Groups = %d, want %d", s.Groups(), s.FastSegs)
+	}
+	if s.TotalBytes() != 24<<20 {
+		t.Errorf("TotalBytes = %d, want %d", s.TotalBytes(), 24<<20)
+	}
+}
+
+func TestNewSpaceErrors(t *testing.T) {
+	cases := []struct {
+		name             string
+		fast, slow, segB uint64
+	}{
+		{"zero segment", 4096, 4096, 0},
+		{"non power-of-two segment", 4096, 4096, 1000},
+		{"zero fast", 0, 4096, 1024},
+		{"fast not segment multiple", 1536, 4096, 1024},
+		{"slow not segment multiple", 2048, 1536, 1024},
+		{"slow not fast multiple", 2048, 3072, 1024},
+	}
+	for _, c := range cases {
+		if _, err := NewSpace(c.fast, c.slow, c.segB); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestSegOfAndBase(t *testing.T) {
+	s := mustSpace(t, 1<<20, 5<<20, 2048)
+	if got := s.SegOf(0); got != 0 {
+		t.Errorf("SegOf(0) = %d", got)
+	}
+	if got := s.SegOf(2047); got != 0 {
+		t.Errorf("SegOf(2047) = %d", got)
+	}
+	if got := s.SegOf(2048); got != 1 {
+		t.Errorf("SegOf(2048) = %d", got)
+	}
+	if got := s.BaseOf(3); got != Phys(3*2048) {
+		t.Errorf("BaseOf(3) = %d", got)
+	}
+}
+
+func TestFastRangeClassification(t *testing.T) {
+	s := mustSpace(t, 1<<20, 5<<20, 2048)
+	if !s.InFast(0) || !s.InFast(Phys(1<<20-1)) {
+		t.Error("low addresses should be in fast range")
+	}
+	if s.InFast(Phys(1 << 20)) {
+		t.Error("boundary address should be off-chip")
+	}
+	if !s.Valid(Phys(6<<20 - 1)) {
+		t.Error("last byte should be valid")
+	}
+	if s.Valid(Phys(6 << 20)) {
+		t.Error("address past the end should be invalid")
+	}
+}
+
+// TestGroupRoundTrip checks that SegAt inverts GroupOf for every
+// segment in a small space.
+func TestGroupRoundTrip(t *testing.T) {
+	s := mustSpace(t, 64<<10, 320<<10, 2048)
+	total := s.FastSegs + s.SlowSegs
+	for seg := Seg(0); uint32(seg) < total; seg++ {
+		g, w := s.GroupOf(seg)
+		if got := s.SegAt(g, w); got != seg {
+			t.Fatalf("SegAt(GroupOf(%d)) = %d", seg, got)
+		}
+		if w == 0 != s.SegInFast(seg) {
+			t.Fatalf("seg %d: way %d vs SegInFast %v", seg, w, s.SegInFast(seg))
+		}
+	}
+}
+
+// TestGroupRoundTripProperty extends the round-trip to random
+// geometries.
+func TestGroupRoundTripProperty(t *testing.T) {
+	f := func(fastSegsRaw uint16, ratioRaw, segRaw uint8) bool {
+		fastSegs := uint64(fastSegsRaw%512) + 1
+		ratio := uint64(ratioRaw%7) + 1
+		segB := uint64(1024) << (segRaw % 3)
+		s, err := NewSpace(fastSegs*segB, fastSegs*ratio*segB, segB)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 64; i++ {
+			seg := Seg(uint64(i*37) % uint64(s.FastSegs+s.SlowSegs))
+			g, w := s.GroupOf(seg)
+			if s.SegAt(g, w) != seg {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlotAddr(t *testing.T) {
+	s := mustSpace(t, 64<<10, 320<<10, 2048) // 32 groups
+	fast, local := s.SlotAddr(5, 0)
+	if !fast || local != 5*2048 {
+		t.Errorf("SlotAddr(5,0) = (%v,%d)", fast, local)
+	}
+	// Way 1 of group 5 is off-chip segment 32+5; its device-local
+	// address is its home address minus the fast range.
+	fast, local = s.SlotAddr(5, 1)
+	wantSeg := uint64(32 + 5)
+	if fast || local != wantSeg*2048-(64<<10) {
+		t.Errorf("SlotAddr(5,1) = (%v,%d), want (false,%d)", fast, local, wantSeg*2048-(64<<10))
+	}
+}
+
+func TestOffsetIn(t *testing.T) {
+	s := mustSpace(t, 64<<10, 320<<10, 2048)
+	if got := s.OffsetIn(Phys(2048 + 100)); got != 100 {
+		t.Errorf("OffsetIn = %d, want 100", got)
+	}
+}
+
+// TestOffChipInterleaving checks the documented group-assignment rule:
+// off-chip segment j (0-based past the stacked range) belongs to group
+// j mod FastSegs.
+func TestOffChipInterleaving(t *testing.T) {
+	s := mustSpace(t, 64<<10, 320<<10, 2048)
+	for j := uint32(0); j < s.SlowSegs; j++ {
+		g, w := s.GroupOf(Seg(s.FastSegs + j))
+		if uint32(g) != j%s.FastSegs {
+			t.Fatalf("off-chip seg %d: group %d, want %d", j, g, j%s.FastSegs)
+		}
+		if uint32(w) != 1+j/s.FastSegs {
+			t.Fatalf("off-chip seg %d: way %d, want %d", j, w, 1+j/s.FastSegs)
+		}
+	}
+}
+
+// TestSlotAddrBijection: over a whole small space, slot addresses must
+// tile each device exactly once (no two slots share storage, nothing
+// is skipped).
+func TestSlotAddrBijection(t *testing.T) {
+	s := mustSpace(t, 32<<10, 160<<10, 2048) // 16 groups, 6 ways
+	fastSeen := map[uint64]bool{}
+	slowSeen := map[uint64]bool{}
+	for g := Group(0); uint32(g) < s.Groups(); g++ {
+		for w := 0; w < s.Ways(); w++ {
+			fast, local := s.SlotAddr(g, Way(w))
+			if local%s.SegBytes != 0 {
+				t.Fatalf("slot (%d,%d) not segment aligned: %d", g, w, local)
+			}
+			if fast {
+				if fastSeen[local] {
+					t.Fatalf("fast local %d covered twice", local)
+				}
+				fastSeen[local] = true
+			} else {
+				if slowSeen[local] {
+					t.Fatalf("slow local %d covered twice", local)
+				}
+				slowSeen[local] = true
+			}
+		}
+	}
+	if len(fastSeen) != int(s.FastSegs) {
+		t.Errorf("fast slots = %d, want %d", len(fastSeen), s.FastSegs)
+	}
+	if len(slowSeen) != int(s.SlowSegs) {
+		t.Errorf("slow slots = %d, want %d", len(slowSeen), s.SlowSegs)
+	}
+	for local := range fastSeen {
+		if local >= s.FastBytes {
+			t.Fatalf("fast local %d beyond device", local)
+		}
+	}
+	for local := range slowSeen {
+		if local >= s.SlowBytes {
+			t.Fatalf("slow local %d beyond device", local)
+		}
+	}
+}
+
+// TestSegOfBaseOfInverse is the address round trip at segment
+// granularity.
+func TestSegOfBaseOfInverse(t *testing.T) {
+	f := func(raw uint32) bool {
+		s, err := NewSpace(64<<10, 320<<10, 2048)
+		if err != nil {
+			return false
+		}
+		p := Phys(uint64(raw) % s.TotalBytes())
+		seg := s.SegOf(p)
+		base := s.BaseOf(seg)
+		return base <= p && uint64(p) < uint64(base)+s.SegBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package config defines the simulated machine configuration.
+//
+// The defaults reproduce Table I of the CHAMELEON paper (MICRO 2018):
+// 12 out-of-order cores at 3.6 GHz, a three-level cache hierarchy, a
+// 4 GB high-bandwidth stacked DRAM, a 20 GB off-chip DRAM, and an SSD
+// page-fault latency of 100K CPU cycles.
+package config
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common byte sizes.
+const (
+	KB = 1 << 10
+	MB = 1 << 20
+	GB = 1 << 30
+)
+
+// CPUConfig describes the simulated cores.
+type CPUConfig struct {
+	Cores     int     // number of cores (one application instance each)
+	FreqHz    float64 // core clock frequency
+	BaseCPI   float64 // cycles per non-memory instruction when not stalled
+	MaxMLP    int     // maximum overlapped LLC misses per core
+	IssueBlk  int     // instructions retired between trace events
+	L1Latency uint64  // L1 hit latency in CPU cycles
+	L2Latency uint64  // L2 hit latency in CPU cycles
+	L3Latency uint64  // L3 hit latency in CPU cycles
+}
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	SizeBytes int
+	Ways      int
+	LineBytes int
+}
+
+// DRAMConfig describes one DRAM device (a set of channels).
+type DRAMConfig struct {
+	Name          string
+	CapacityBytes uint64
+	Channels      int
+	RanksPerChan  int
+	BanksPerRank  int
+	BusFreqHz     float64 // bus clock; data rate is 2x (DDR)
+	BusWidthBits  int     // per channel
+	RowBytes      int     // row-buffer size per bank
+	TCAS          int     // in bus cycles
+	TRCD          int     // in bus cycles
+	TRP           int     // in bus cycles
+	TRAS          int     // in bus cycles
+	TRFCNanos     float64 // refresh cycle time, nanoseconds
+	TREFINanos    float64 // refresh interval, nanoseconds
+}
+
+// PeakBandwidth returns the aggregate peak data bandwidth in bytes/sec.
+func (d DRAMConfig) PeakBandwidth() float64 {
+	return float64(d.Channels) * float64(d.BusWidthBits) / 8 * 2 * d.BusFreqHz
+}
+
+// OSConfig describes operating-system level parameters.
+type OSConfig struct {
+	PageBytes        int    // base page size (4 KB)
+	HugePageBytes    int    // THP size (2 MB)
+	PageFaultCycles  uint64 // major fault (SSD) latency in CPU cycles
+	BufferCacheBytes uint64 // memory reserved by the OS buffer cache
+}
+
+// MemSysConfig describes the heterogeneous memory-system organisation.
+type MemSysConfig struct {
+	SegmentBytes int // PoM/Chameleon segment size (2 KB in the paper)
+	// SwapThreshold is the competing-counter value an off-chip segment
+	// must accumulate before a PoM swap. It is set above the number of
+	// lines per segment (32) so that a single streaming sweep through a
+	// segment never triggers a swap — only segments whose counter
+	// accumulates across repeated visits (persistently hot data) are
+	// promoted, which is what makes swaps profitable under bandwidth
+	// saturation.
+	SwapThreshold    int
+	SRTCacheEntries  int  // on-die SRT cache entries (0 disables modelling)
+	CacheLineBytes   int  // transfer granularity (64 B)
+	ClearOnModeSwith bool // security clearing on cache<->PoM transitions
+}
+
+// Config is the complete simulated system configuration.
+type Config struct {
+	CPU    CPUConfig
+	L1     CacheConfig
+	L2     CacheConfig
+	L3     CacheConfig
+	Fast   DRAMConfig // stacked DRAM
+	Slow   DRAMConfig // off-chip DRAM
+	OS     OSConfig
+	MemSys MemSysConfig
+
+	// Scale divides both DRAM capacities (and should be matched by a
+	// proportional reduction of workload footprints). Scale 1 is the
+	// paper's full-size system. Scale must be a power of two.
+	Scale uint64
+}
+
+// Default returns the Table I configuration at the given scale divisor.
+// scale == 1 reproduces the paper's 4 GB + 20 GB system. Larger scales
+// divide the DRAM capacities and, to preserve the working-set:capacity
+// ratios the results depend on, also shrink the L2/L3 caches (floored
+// at 64 KB / 256 KB) — otherwise a scaled-down stacked DRAM would be no
+// larger than the unscaled LLC.
+func Default(scale uint64) Config {
+	if scale == 0 {
+		scale = 1
+	}
+	l2 := 256 * KB / int(scale)
+	if l2 < 64*KB {
+		l2 = 64 * KB
+	}
+	l3 := 12 * MB / int(scale)
+	if l3 < 256*KB {
+		l3 = 256 * KB
+	}
+	c := Config{
+		CPU: CPUConfig{
+			Cores:     12,
+			FreqHz:    3.6e9,
+			BaseCPI:   0.33, // ~3-wide effective issue
+			MaxMLP:    4,
+			IssueBlk:  64,
+			L1Latency: 4,
+			L2Latency: 12,
+			L3Latency: 38,
+		},
+		L1: CacheConfig{SizeBytes: 32 * KB, Ways: 4, LineBytes: 64},
+		L2: CacheConfig{SizeBytes: l2, Ways: 8, LineBytes: 64},
+		L3: CacheConfig{SizeBytes: l3, Ways: 16, LineBytes: 64},
+		Fast: DRAMConfig{
+			Name:          "stacked",
+			CapacityBytes: 4 * GB / scale,
+			Channels:      2,
+			RanksPerChan:  2,
+			BanksPerRank:  8,
+			BusFreqHz:     1.6e9,
+			BusWidthBits:  128,
+			RowBytes:      2 * KB,
+			TCAS:          11, TRCD: 11, TRP: 11, TRAS: 28,
+			TRFCNanos:  138,
+			TREFINanos: 7800,
+		},
+		Slow: DRAMConfig{
+			Name:          "offchip",
+			CapacityBytes: 20 * GB / scale,
+			Channels:      2,
+			RanksPerChan:  2,
+			BanksPerRank:  8,
+			BusFreqHz:     0.8e9,
+			BusWidthBits:  64,
+			RowBytes:      8 * KB,
+			TCAS:          11, TRCD: 11, TRP: 11, TRAS: 28,
+			TRFCNanos:  530,
+			TREFINanos: 7800,
+		},
+		OS: OSConfig{
+			PageBytes:       4 * KB,
+			HugePageBytes:   2 * MB,
+			PageFaultCycles: 100_000,
+		},
+		MemSys: MemSysConfig{
+			SegmentBytes:     2 * KB,
+			SwapThreshold:    8,
+			SRTCacheEntries:  32 * 1024,
+			CacheLineBytes:   64,
+			ClearOnModeSwith: true,
+		},
+		Scale: scale,
+	}
+	return c
+}
+
+// WithRatio returns a copy of c with the stacked:off-chip capacity ratio
+// set to 1:ratio while keeping the total capacity constant, mirroring the
+// paper's sensitivity study (1:3 = 6+18 GB, 1:5 = 4+20 GB, 1:7 = 3+21 GB).
+func (c Config) WithRatio(ratio int) (Config, error) {
+	if ratio < 1 {
+		return c, fmt.Errorf("config: ratio must be >= 1, got %d", ratio)
+	}
+	total := c.Fast.CapacityBytes + c.Slow.CapacityBytes
+	fast := total / uint64(ratio+1)
+	// Round down to a segment-group friendly boundary.
+	seg := uint64(c.MemSys.SegmentBytes)
+	fast -= fast % seg
+	c.Fast.CapacityBytes = fast
+	c.Slow.CapacityBytes = total - fast
+	return c, nil
+}
+
+// TotalCapacity returns the OS-visible capacity when both devices are
+// exposed as part of memory.
+func (c Config) TotalCapacity() uint64 {
+	return c.Fast.CapacityBytes + c.Slow.CapacityBytes
+}
+
+// Ratio returns the off-chip:stacked capacity ratio rounded to the
+// nearest integer (5 for the default 4+20 GB system).
+func (c Config) Ratio() int {
+	if c.Fast.CapacityBytes == 0 {
+		return 0
+	}
+	return int((c.Slow.CapacityBytes + c.Fast.CapacityBytes/2) / c.Fast.CapacityBytes)
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	var errs []error
+	if c.CPU.Cores <= 0 {
+		errs = append(errs, errors.New("config: CPU.Cores must be positive"))
+	}
+	if c.CPU.FreqHz <= 0 {
+		errs = append(errs, errors.New("config: CPU.FreqHz must be positive"))
+	}
+	if c.CPU.MaxMLP <= 0 {
+		errs = append(errs, errors.New("config: CPU.MaxMLP must be positive"))
+	}
+	for _, cc := range []struct {
+		name string
+		c    CacheConfig
+	}{{"L1", c.L1}, {"L2", c.L2}, {"L3", c.L3}} {
+		if cc.c.LineBytes <= 0 || cc.c.SizeBytes <= 0 || cc.c.Ways <= 0 {
+			errs = append(errs, fmt.Errorf("config: %s cache parameters must be positive", cc.name))
+			continue
+		}
+		if cc.c.SizeBytes/(cc.c.Ways*cc.c.LineBytes) == 0 {
+			errs = append(errs, fmt.Errorf("config: %s cache smaller than one set", cc.name))
+		}
+	}
+	for _, d := range []DRAMConfig{c.Fast, c.Slow} {
+		if d.CapacityBytes == 0 {
+			errs = append(errs, fmt.Errorf("config: %s DRAM capacity must be positive", d.Name))
+		}
+		if d.Channels <= 0 || d.BanksPerRank <= 0 || d.RanksPerChan <= 0 {
+			errs = append(errs, fmt.Errorf("config: %s DRAM geometry must be positive", d.Name))
+		}
+		if d.BusFreqHz <= 0 || d.BusWidthBits <= 0 {
+			errs = append(errs, fmt.Errorf("config: %s DRAM bus parameters must be positive", d.Name))
+		}
+	}
+	seg := c.MemSys.SegmentBytes
+	if seg <= 0 || seg&(seg-1) != 0 {
+		errs = append(errs, fmt.Errorf("config: segment size must be a positive power of two, got %d", seg))
+	}
+	if c.MemSys.CacheLineBytes <= 0 || seg%max(c.MemSys.CacheLineBytes, 1) != 0 {
+		errs = append(errs, errors.New("config: segment size must be a multiple of the cache-line size"))
+	}
+	if seg > 0 && c.Fast.CapacityBytes%uint64(seg) != 0 {
+		errs = append(errs, errors.New("config: stacked capacity must be a multiple of the segment size"))
+	}
+	if seg > 0 && c.Slow.CapacityBytes%uint64(seg) != 0 {
+		errs = append(errs, errors.New("config: off-chip capacity must be a multiple of the segment size"))
+	}
+	if c.OS.PageBytes <= 0 || c.OS.PageBytes&(c.OS.PageBytes-1) != 0 {
+		errs = append(errs, errors.New("config: page size must be a positive power of two"))
+	}
+	if c.OS.HugePageBytes%max(c.OS.PageBytes, 1) != 0 {
+		errs = append(errs, errors.New("config: huge-page size must be a multiple of the page size"))
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,120 @@
+package config
+
+import "testing"
+
+func TestDefaultIsValid(t *testing.T) {
+	for _, scale := range []uint64{1, 2, 8, 64, 256} {
+		if err := Default(scale).Validate(); err != nil {
+			t.Errorf("Default(%d): %v", scale, err)
+		}
+	}
+}
+
+func TestDefaultTableI(t *testing.T) {
+	c := Default(1)
+	if c.CPU.Cores != 12 {
+		t.Errorf("cores = %d, want 12", c.CPU.Cores)
+	}
+	if c.CPU.FreqHz != 3.6e9 {
+		t.Errorf("freq = %v, want 3.6 GHz", c.CPU.FreqHz)
+	}
+	if c.Fast.CapacityBytes != 4*GB {
+		t.Errorf("stacked capacity = %d, want 4 GB", c.Fast.CapacityBytes)
+	}
+	if c.Slow.CapacityBytes != 20*GB {
+		t.Errorf("off-chip capacity = %d, want 20 GB", c.Slow.CapacityBytes)
+	}
+	if c.OS.PageFaultCycles != 100_000 {
+		t.Errorf("page-fault latency = %d, want 100K", c.OS.PageFaultCycles)
+	}
+	if c.MemSys.SegmentBytes != 2*KB {
+		t.Errorf("segment = %d, want 2 KB", c.MemSys.SegmentBytes)
+	}
+	// Bandwidth ratio: 128-bit @1.6 GHz vs 64-bit @0.8 GHz => 4x.
+	ratio := c.Fast.PeakBandwidth() / c.Slow.PeakBandwidth()
+	if ratio < 3.99 || ratio > 4.01 {
+		t.Errorf("bandwidth ratio = %v, want 4", ratio)
+	}
+}
+
+func TestScalePreservesRatios(t *testing.T) {
+	base := Default(1)
+	scaled := Default(64)
+	if scaled.Fast.CapacityBytes*64 != base.Fast.CapacityBytes {
+		t.Errorf("fast capacity not scaled by 64")
+	}
+	if scaled.Slow.CapacityBytes*64 != base.Slow.CapacityBytes {
+		t.Errorf("slow capacity not scaled by 64")
+	}
+	if base.Ratio() != scaled.Ratio() {
+		t.Errorf("capacity ratio changed under scaling: %d vs %d", base.Ratio(), scaled.Ratio())
+	}
+}
+
+func TestScaledCachesFloored(t *testing.T) {
+	c := Default(1 << 20)
+	if c.L2.SizeBytes < 64*KB {
+		t.Errorf("L2 scaled below floor: %d", c.L2.SizeBytes)
+	}
+	if c.L3.SizeBytes < 256*KB {
+		t.Errorf("L3 scaled below floor: %d", c.L3.SizeBytes)
+	}
+}
+
+func TestWithRatio(t *testing.T) {
+	for _, ratio := range []int{3, 5, 7} {
+		c, err := Default(8).WithRatio(ratio)
+		if err != nil {
+			t.Fatalf("WithRatio(%d): %v", ratio, err)
+		}
+		if got := c.Ratio(); got != ratio {
+			t.Errorf("Ratio() = %d, want %d", got, ratio)
+		}
+		if c.TotalCapacity() != Default(8).TotalCapacity() {
+			t.Errorf("ratio %d changed total capacity", ratio)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("WithRatio(%d) invalid: %v", ratio, err)
+		}
+	}
+}
+
+func TestWithRatioRejectsNonPositive(t *testing.T) {
+	if _, err := Default(1).WithRatio(0); err == nil {
+		t.Error("WithRatio(0) should fail")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no cores", func(c *Config) { c.CPU.Cores = 0 }},
+		{"no freq", func(c *Config) { c.CPU.FreqHz = 0 }},
+		{"no MLP", func(c *Config) { c.CPU.MaxMLP = 0 }},
+		{"bad L1", func(c *Config) { c.L1.Ways = 0 }},
+		{"no fast capacity", func(c *Config) { c.Fast.CapacityBytes = 0 }},
+		{"no channels", func(c *Config) { c.Slow.Channels = 0 }},
+		{"bad segment", func(c *Config) { c.MemSys.SegmentBytes = 1000 }},
+		{"segment under line", func(c *Config) { c.MemSys.CacheLineBytes = 0 }},
+		{"bad page", func(c *Config) { c.OS.PageBytes = 3000 }},
+		{"huge page misaligned", func(c *Config) { c.OS.HugePageBytes = 5000 }},
+		{"capacity not segment multiple", func(c *Config) { c.Fast.CapacityBytes += 1 }},
+	}
+	for _, m := range mutations {
+		c := Default(8)
+		m.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.name)
+		}
+	}
+}
+
+func TestPeakBandwidth(t *testing.T) {
+	d := DRAMConfig{Channels: 2, BusWidthBits: 128, BusFreqHz: 1.6e9}
+	// 2 channels * 16 B * 2 (DDR) * 1.6e9 = 102.4 GB/s
+	if got := d.PeakBandwidth(); got != 102.4e9 {
+		t.Errorf("PeakBandwidth = %v, want 102.4e9", got)
+	}
+}

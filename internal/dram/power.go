@@ -1,0 +1,110 @@
+package dram
+
+// The energy model is a simplified DRAMPower-style accounting: each
+// command class (activate+precharge pair, column read, column write,
+// refresh) carries a fixed energy, and background power accrues with
+// wall-clock time. It supports the paper's cost/power motivation for
+// PoM architectures (§I) and lets experiments compare designs by DRAM
+// energy as well as performance.
+
+// PowerConfig holds per-operation energies (picojoules) and background
+// power (milliwatts) for one device.
+type PowerConfig struct {
+	ActPrePJ       float64 // one activate+precharge pair
+	ReadPJPerByte  float64
+	WritePJPerByte float64
+	RefreshPJ      float64 // one rank refresh (tRFC worth of work)
+	BackgroundMW   float64 // standby power for the whole device
+}
+
+// DefaultStackedPower approximates an HBM-class stack: lower per-bit
+// I/O energy (short TSV paths), higher background power (more banks).
+func DefaultStackedPower() PowerConfig {
+	return PowerConfig{
+		ActPrePJ:       900,
+		ReadPJPerByte:  4,
+		WritePJPerByte: 4.5,
+		RefreshPJ:      28_000,
+		BackgroundMW:   350,
+	}
+}
+
+// DefaultOffChipPower approximates a DDR3 DIMM: higher per-bit I/O
+// energy (board traces), lower background power.
+func DefaultOffChipPower() PowerConfig {
+	return PowerConfig{
+		ActPrePJ:       1_600,
+		ReadPJPerByte:  12,
+		WritePJPerByte: 13,
+		RefreshPJ:      120_000,
+		BackgroundMW:   180,
+	}
+}
+
+// EnergyReport breaks device energy into components (all nanojoules).
+type EnergyReport struct {
+	ActivateNJ   float64
+	ReadNJ       float64
+	WriteNJ      float64
+	RefreshNJ    float64
+	BackgroundNJ float64
+}
+
+// TotalNJ returns the summed energy.
+func (e EnergyReport) TotalNJ() float64 {
+	return e.ActivateNJ + e.ReadNJ + e.WriteNJ + e.RefreshNJ + e.BackgroundNJ
+}
+
+// AveragePowerMW returns the average power over the elapsed time.
+func (e EnergyReport) AveragePowerMW(elapsedSeconds float64) float64 {
+	if elapsedSeconds <= 0 {
+		return 0
+	}
+	return e.TotalNJ() / elapsedSeconds / 1e6
+}
+
+// Energy computes the device's energy over elapsedCycles of CPU time
+// from its accumulated statistics. Refresh energy is charged per
+// elapsed tREFI interval per rank (refreshes happen whether or not an
+// access observed them).
+func (d *Device) Energy(cfg PowerConfig, elapsedCycles uint64) EnergyReport {
+	st := d.stats
+	activations := st.RowMisses + st.RowConflicts
+	readBytes := float64(st.Reads) * avgBytes(st, true)
+	writeBytes := float64(st.Writes) * avgBytes(st, false)
+	seconds := float64(elapsedCycles) / d.cpuHz
+	refreshes := 0.0
+	if d.tREFI > 0 {
+		ranks := float64(len(d.chans) * d.cfg.RanksPerChan)
+		refreshes = float64(elapsedCycles) / float64(d.tREFI) * ranks
+	}
+	return EnergyReport{
+		ActivateNJ:   float64(activations) * cfg.ActPrePJ / 1e3,
+		ReadNJ:       readBytes * cfg.ReadPJPerByte / 1e3,
+		WriteNJ:      writeBytes * cfg.WritePJPerByte / 1e3,
+		RefreshNJ:    refreshes * cfg.RefreshPJ / 1e3,
+		BackgroundNJ: cfg.BackgroundMW * seconds * 1e6,
+	}
+}
+
+// avgBytes estimates the mean transfer size from the byte and access
+// counters (reads and writes share the BytesMoved counter; transfers
+// are near-uniform in size, so the shared mean is adequate).
+func avgBytes(st Stats, read bool) float64 {
+	total := st.Reads + st.Writes
+	if total == 0 {
+		return 0
+	}
+	return float64(st.BytesMoved) / float64(total)
+}
+
+// BusyFraction returns the fraction of elapsed time the device's data
+// buses were transferring, an effective-bandwidth utilisation metric.
+func (d *Device) BusyFraction(elapsedCycles uint64) float64 {
+	if elapsedCycles == 0 {
+		return 0
+	}
+	totalBytes := float64(d.stats.BytesMoved)
+	seconds := float64(elapsedCycles) / d.cpuHz
+	return totalBytes / (d.PeakBandwidth() * seconds)
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chameleon/internal/config"
+	"chameleon/internal/osmodel"
+	"chameleon/internal/sim"
+	"chameleon/internal/stats"
+	"chameleon/internal/workload"
+)
+
+// Fig3 reproduces the free-memory-over-time experiment: the Table II
+// workloads run back to back on a 24 GB (scaled) system, each one
+// allocating its footprint in a ramp, holding it, then freeing it. The
+// table is the sampled free-memory timeline (the paper samples every
+// two minutes with numastat; we sample once per ramp/hold step).
+func Fig3(o Options) (*stats.Table, error) {
+	o = o.Defaults()
+	cfg := config.Default(o.Scale)
+	osm, err := osmodel.New(osmodel.Config{
+		TotalBytes:      cfg.TotalCapacity(),
+		PageBytes:       uint64(cfg.OS.PageBytes),
+		PageFaultCycles: cfg.OS.PageFaultCycles,
+		Alloc:           osmodel.AllocShuffled,
+		Seed:            o.Seed,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("sample", "workload", "phase", "free-MB(x scale)")
+	sample := 0
+	record := func(wl, phase string) {
+		sample++
+		mb := float64(osm.FreeBytes()) * float64(o.Scale) / float64(config.MB)
+		t.AddRow(sample, wl, phase, mb)
+	}
+	const rampSteps = 6
+	const holdSteps = 4
+	for _, wl := range workload.Fig3Sequence() {
+		prof, err := o.profile(wl)
+		if err != nil {
+			return nil, err
+		}
+		procs := make([]*osmodel.Process, workload.Copies)
+		for i := range procs {
+			procs[i] = osm.NewProcess()
+		}
+		record(wl, "start")
+		for step := 1; step <= rampSteps; step++ {
+			lo := prof.FootprintBytes * uint64(step-1) / rampSteps
+			hi := prof.FootprintBytes * uint64(step) / rampSteps
+			for _, p := range procs {
+				osm.Map(p, lo, hi-lo, 0)
+			}
+			record(wl, "ramp")
+		}
+		for step := 0; step < holdSteps; step++ {
+			record(wl, "run")
+		}
+		for _, p := range procs {
+			osm.FreeAll(p, 0)
+		}
+		record(wl, "freed")
+	}
+	return t, nil
+}
+
+// CapacityPoints are the OS-visible capacities of the Figure 4/5 sweep
+// in (unscaled) GB.
+var CapacityPoints = []uint64{16, 18, 20, 22, 24, 26, 28}
+
+// sweepWorkloads returns the capacity-study workload list restricted to
+// the selected subset (falling back to the full Figure 4 set when the
+// subset has no high-footprint members).
+func sweepWorkloads(o Options) []string {
+	want := map[string]bool{}
+	for _, wl := range o.Workloads {
+		want[wl] = true
+	}
+	var out []string
+	for _, wl := range workload.HighFootprint() {
+		if want[wl] {
+			out = append(out, wl)
+		}
+	}
+	if len(out) == 0 {
+		return workload.HighFootprint()
+	}
+	return out
+}
+
+// capacitySweep runs the capacity-study workloads on flat systems of
+// each capacity and returns the raw results[capacityGB][workload].
+func capacitySweep(o Options) (map[uint64]map[string]*sim.Result, error) {
+	o = o.Defaults()
+	cfg := config.Default(o.Scale)
+	out := map[uint64]map[string]*sim.Result{}
+	for _, gb := range CapacityPoints {
+		out[gb] = map[string]*sim.Result{}
+		for _, wl := range sweepWorkloads(o) {
+			prof, err := o.profile(wl)
+			if err != nil {
+				return nil, err
+			}
+			res, err := o.runOne(sim.Options{
+				Config:        cfg,
+				Policy:        sim.PolicyFlat,
+				Workload:      prof,
+				BaselineBytes: gb * config.GB / o.Scale,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("capacity %dGB/%s: %w", gb, wl, err)
+			}
+			out[gb][wl] = res
+		}
+	}
+	return out, nil
+}
+
+// Fig4 reproduces the execution-time improvement over the 16 GB system
+// as capacity grows (equation 1 of the paper; the paper's averages
+// rise from 29.5 % at 18 GB to 75.4 % at 24 GB and saturate).
+func Fig4(o Options) (*stats.Table, error) {
+	sweep, err := capacitySweep(o)
+	if err != nil {
+		return nil, err
+	}
+	header := []string{"workload"}
+	for _, gb := range CapacityPoints[1:] {
+		header = append(header, fmt.Sprintf("%dGB-imp%%", gb))
+	}
+	t := stats.NewTable(header...)
+	sums := make([]float64, len(CapacityPoints)-1)
+	execTime := func(r *sim.Result) float64 {
+		times := make([]float64, len(r.Cores))
+		for i, c := range r.Cores {
+			times[i] = float64(c.Cycles)
+		}
+		return stats.GeoMean(times)
+	}
+	wls := sweepWorkloads(o.Defaults())
+	for _, wl := range wls {
+		base := execTime(sweep[16][wl])
+		row := []any{wl}
+		for i, gb := range CapacityPoints[1:] {
+			imp := (base - execTime(sweep[gb][wl])) / base * 100
+			sums[i] += imp
+			row = append(row, imp)
+		}
+		t.AddRow(row...)
+	}
+	avg := []any{"Average"}
+	for _, s := range sums {
+		avg = append(avg, s/float64(len(wls)))
+	}
+	t.AddRow(avg...)
+	return t, nil
+}
+
+// Fig5 reproduces page faults and CPU utilisation versus capacity:
+// faults fall and utilisation rises towards 100 % as the footprint
+// fits.
+func Fig5(o Options) (*stats.Table, error) {
+	sweep, err := capacitySweep(o)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("workload", "capacity-GB", "major-faults", "cpu-util%")
+	for _, wl := range sweepWorkloads(o.Defaults()) {
+		for _, gb := range CapacityPoints {
+			r := sweep[gb][wl]
+			t.AddRow(wl, gb, r.OS.MajorFaults, r.CPUUtilization*100)
+		}
+	}
+	return t, nil
+}

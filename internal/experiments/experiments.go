@@ -1,0 +1,188 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§III and §VI). Each driver returns a stats.Table
+// whose rows mirror the corresponding figure; cmd/experiments renders
+// them and EXPERIMENTS.md records paper-vs-measured values.
+//
+// The drivers run on a scaled-down machine (capacities and footprints
+// divided by Options.Scale with all ratios preserved) so the full suite
+// completes in minutes on a laptop. Scale 1 reproduces the paper's
+// full-size 4 GB + 20 GB system.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"chameleon/internal/config"
+	"chameleon/internal/sim"
+	"chameleon/internal/trace"
+	"chameleon/internal/workload"
+)
+
+// Options control the scale and length of every experiment.
+type Options struct {
+	// Scale divides DRAM capacities and workload footprints (power of
+	// two). Default 256.
+	Scale uint64
+	// Instructions is the measured per-core instruction budget.
+	// Default 500,000.
+	Instructions uint64
+	// Warmup is the per-core fast-forward budget that converges caches
+	// and remapping state before measurement. Default 4,000,000.
+	Warmup uint64
+	// Seed makes every run deterministic. Default 42.
+	Seed uint64
+	// Workloads restricts the workload set (nil = all of Table II).
+	Workloads []string
+	// Parallelism bounds concurrent simulations (default GOMAXPROCS).
+	Parallelism int
+}
+
+// Defaults fills in zero fields.
+func (o Options) Defaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 256
+	}
+	if o.Instructions == 0 {
+		o.Instructions = 500_000
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 4_000_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = workload.Names()
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// profile fetches and scales a workload.
+func (o Options) profile(name string) (trace.Profile, error) {
+	p, err := workload.ByName(name)
+	if err != nil {
+		return trace.Profile{}, err
+	}
+	return p.Scale(o.Scale), nil
+}
+
+// runOne builds and runs a single simulation.
+func (o Options) runOne(opts sim.Options) (*sim.Result, error) {
+	opts.Seed = o.Seed
+	opts.WarmupInstructions = o.Warmup
+	s, err := sim.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(o.Instructions)
+}
+
+// Matrix holds one result per (policy, workload) pair.
+type Matrix struct {
+	Opts     Options
+	Policies []sim.PolicyKind
+	// Results[policy][workload]
+	Results map[sim.PolicyKind]map[string]*sim.Result
+}
+
+// standardPolicies is the set used by the main evaluation figures.
+func standardPolicies() []sim.PolicyKind {
+	return []sim.PolicyKind{
+		sim.PolicyFlat, // run twice: 20 GB and 24 GB handled separately
+		sim.PolicyNUMAFlat,
+		sim.PolicyAlloy,
+		sim.PolicyPoM,
+		sim.PolicyPolymorphic,
+		sim.PolicyChameleon,
+		sim.PolicyChameleonOpt,
+	}
+}
+
+// job names one simulation of the matrix.
+type job struct {
+	policy   sim.PolicyKind
+	tag      string // result key qualifier for flat baselines
+	workload string
+	opts     sim.Options
+}
+
+// Key returns the map key used for a policy; the 20 GB flat baseline is
+// stored under PolicyFlat, the 24 GB one under policyFlat24.
+const policyFlat24 sim.PolicyKind = 1000
+
+// RunMatrix executes every policy on every selected workload, reusing
+// one run across all the figures that need it (15-20 and 22).
+func RunMatrix(o Options) (*Matrix, error) {
+	o = o.Defaults()
+	cfg := config.Default(o.Scale)
+
+	var jobs []job
+	for _, name := range o.Workloads {
+		prof, err := o.profile(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, pk := range standardPolicies() {
+			so := sim.Options{Config: cfg, Policy: pk, Workload: prof}
+			switch pk {
+			case sim.PolicyFlat:
+				so20 := so
+				so20.BaselineBytes = 20 * config.GB / o.Scale
+				jobs = append(jobs, job{sim.PolicyFlat, "20", name, so20})
+				so24 := so
+				so24.BaselineBytes = 24 * config.GB / o.Scale
+				jobs = append(jobs, job{policyFlat24, "24", name, so24})
+			default:
+				jobs = append(jobs, job{pk, "", name, so})
+			}
+		}
+	}
+
+	m := &Matrix{Opts: o, Policies: append(standardPolicies(), policyFlat24),
+		Results: map[sim.PolicyKind]map[string]*sim.Result{}}
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, o.Parallelism)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := o.runOne(j.opts)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%v/%s: %w", j.policy, j.workload, err)
+				}
+				return
+			}
+			if m.Results[j.policy] == nil {
+				m.Results[j.policy] = map[string]*sim.Result{}
+			}
+			m.Results[j.policy][j.workload] = res
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return m, nil
+}
+
+// get fetches one result, with a descriptive panic on misuse (matrix
+// access bugs are programming errors, not runtime conditions).
+func (m *Matrix) get(p sim.PolicyKind, wl string) *sim.Result {
+	r := m.Results[p][wl]
+	if r == nil {
+		panic(fmt.Sprintf("experiments: missing result for %v/%s", p, wl))
+	}
+	return r
+}

@@ -1,0 +1,407 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chameleon/internal/config"
+	"chameleon/internal/osmodel"
+	"chameleon/internal/sim"
+	"chameleon/internal/stats"
+)
+
+// Fig15 reproduces the stacked-DRAM hit-rate comparison (Alloy Cache,
+// PoM, Chameleon, Chameleon-Opt). Paper averages: 62.4 %, 81 %,
+// 84.6 %, 89.4 %.
+func Fig15(m *Matrix) *stats.Table {
+	t := stats.NewTable("workload", "alloy", "pom", "chameleon", "chameleon-opt")
+	kinds := []sim.PolicyKind{sim.PolicyAlloy, sim.PolicyPoM, sim.PolicyChameleon, sim.PolicyChameleonOpt}
+	sums := make([]float64, len(kinds))
+	for _, wl := range m.Opts.Workloads {
+		row := []any{wl}
+		for i, k := range kinds {
+			hr := m.get(k, wl).StackedHitRate * 100
+			sums[i] += hr
+			row = append(row, hr)
+		}
+		t.AddRow(row...)
+	}
+	avg := []any{"Average"}
+	for _, s := range sums {
+		avg = append(avg, s/float64(len(m.Opts.Workloads)))
+	}
+	t.AddRow(avg...)
+	return t
+}
+
+// Fig16 reproduces the cache-mode vs PoM-mode segment-group
+// distribution for Chameleon and Chameleon-Opt. Paper averages: 9.2 %
+// and 40.6 % of groups in cache mode.
+func Fig16(m *Matrix) *stats.Table {
+	t := stats.NewTable("workload", "chameleon-cache%", "chameleon-opt-cache%")
+	var s1, s2 float64
+	for _, wl := range m.Opts.Workloads {
+		c := m.get(sim.PolicyChameleon, wl).CacheModeFraction * 100
+		o := m.get(sim.PolicyChameleonOpt, wl).CacheModeFraction * 100
+		s1 += c
+		s2 += o
+		t.AddRow(wl, c, o)
+	}
+	n := float64(len(m.Opts.Workloads))
+	t.AddRow("Average", s1/n, s2/n)
+	return t
+}
+
+// Fig17 reproduces segment swaps normalised to PoM. Paper averages:
+// Chameleon 0.856, Chameleon-Opt 0.569.
+func Fig17(m *Matrix) *stats.Table {
+	t := stats.NewTable("workload", "pom", "chameleon", "chameleon-opt")
+	var s1, s2 float64
+	for _, wl := range m.Opts.Workloads {
+		base := float64(m.get(sim.PolicyPoM, wl).Ctrl.Swaps)
+		c := float64(m.get(sim.PolicyChameleon, wl).Ctrl.Swaps)
+		o := float64(m.get(sim.PolicyChameleonOpt, wl).Ctrl.Swaps)
+		nc, no := 1.0, 1.0
+		if base > 0 {
+			nc, no = c/base, o/base
+		}
+		s1 += nc
+		s2 += no
+		t.AddRow(wl, 1.0, nc, no)
+	}
+	n := float64(len(m.Opts.Workloads))
+	t.AddRow("Average", 1.0, s1/n, s2/n)
+	return t
+}
+
+// Fig18 reproduces the normalised-IPC comparison across the two flat
+// baselines, Alloy, PoM, Chameleon and Chameleon-Opt (normalised to
+// the 20 GB DDR3 baseline). Paper geomeans: 24 GB 1.356, PoM 1.852,
+// Chameleon 1.968, Chameleon-Opt 2.063.
+func Fig18(m *Matrix) *stats.Table {
+	t := stats.NewTable("workload", "flat20", "flat24", "alloy", "pom", "chameleon", "chameleon-opt")
+	kinds := []sim.PolicyKind{policyFlat24, sim.PolicyAlloy, sim.PolicyPoM, sim.PolicyChameleon, sim.PolicyChameleonOpt}
+	geos := make([][]float64, len(kinds))
+	for _, wl := range m.Opts.Workloads {
+		base := m.get(sim.PolicyFlat, wl).GeoMeanIPC
+		row := []any{wl, 1.0}
+		for i, k := range kinds {
+			v := m.get(k, wl).GeoMeanIPC / base
+			geos[i] = append(geos[i], v)
+			row = append(row, v)
+		}
+		t.AddRow(row...)
+	}
+	avg := []any{"GeoMean", 1.0}
+	for _, g := range geos {
+		avg = append(avg, stats.GeoMean(g))
+	}
+	t.AddRow(avg...)
+	return t
+}
+
+// Fig19 reproduces the average memory access latency (CPU cycles) for
+// PoM, Chameleon and Chameleon-Opt.
+func Fig19(m *Matrix) *stats.Table {
+	t := stats.NewTable("workload", "pom", "chameleon", "chameleon-opt")
+	kinds := []sim.PolicyKind{sim.PolicyPoM, sim.PolicyChameleon, sim.PolicyChameleonOpt}
+	geos := make([][]float64, len(kinds))
+	for _, wl := range m.Opts.Workloads {
+		row := []any{wl}
+		for i, k := range kinds {
+			v := m.get(k, wl).AMAT
+			geos[i] = append(geos[i], v)
+			row = append(row, v)
+		}
+		t.AddRow(row...)
+	}
+	avg := []any{"GeoMean"}
+	for _, g := range geos {
+		avg = append(avg, stats.GeoMean(g))
+	}
+	t.AddRow(avg...)
+	return t
+}
+
+// Fig20 compares Chameleon against the OS-based placements (normalised
+// to the 20 GB baseline): first-touch NUMA allocation and AutoNUMA at
+// three thresholds. Paper: Chameleon +28.7 %/+19.1 % over
+// first-touch/AutoNUMA, Chameleon-Opt +34.8 %/+24.9 %.
+func Fig20(m *Matrix, auto map[float64]map[string]*sim.Result) *stats.Table {
+	t := stats.NewTable("workload", "flat20", "flat24", "first-touch",
+		"autonuma-70", "autonuma-80", "autonuma-90", "chameleon", "chameleon-opt")
+	var geoCols [][]float64
+	addGeo := func(col int, v float64) {
+		for len(geoCols) <= col {
+			geoCols = append(geoCols, nil)
+		}
+		geoCols[col] = append(geoCols[col], v)
+	}
+	for _, wl := range m.Opts.Workloads {
+		base := m.get(sim.PolicyFlat, wl).GeoMeanIPC
+		row := []any{wl, 1.0}
+		col := 0
+		for _, v := range []float64{
+			m.get(policyFlat24, wl).GeoMeanIPC / base,
+			m.get(sim.PolicyNUMAFlat, wl).GeoMeanIPC / base,
+			auto[0.7][wl].GeoMeanIPC / base,
+			auto[0.8][wl].GeoMeanIPC / base,
+			auto[0.9][wl].GeoMeanIPC / base,
+			m.get(sim.PolicyChameleon, wl).GeoMeanIPC / base,
+			m.get(sim.PolicyChameleonOpt, wl).GeoMeanIPC / base,
+		} {
+			row = append(row, v)
+			addGeo(col, v)
+			col++
+		}
+		t.AddRow(row...)
+	}
+	avg := []any{"GeoMean", 1.0}
+	for _, g := range geoCols {
+		avg = append(avg, stats.GeoMean(g))
+	}
+	t.AddRow(avg...)
+	return t
+}
+
+// Fig22 reproduces the Polymorphic Memory comparison (normalised IPC
+// over the 20 GB baseline). Paper: Chameleon +10.5 % and Chameleon-Opt
+// +15.8 % over Polymorphic Memory.
+func Fig22(m *Matrix) *stats.Table {
+	t := stats.NewTable("workload", "flat20", "flat24", "polymorphic", "chameleon", "chameleon-opt")
+	kinds := []sim.PolicyKind{policyFlat24, sim.PolicyPolymorphic, sim.PolicyChameleon, sim.PolicyChameleonOpt}
+	geos := make([][]float64, len(kinds))
+	for _, wl := range m.Opts.Workloads {
+		base := m.get(sim.PolicyFlat, wl).GeoMeanIPC
+		row := []any{wl, 1.0}
+		for i, k := range kinds {
+			v := m.get(k, wl).GeoMeanIPC / base
+			geos[i] = append(geos[i], v)
+			row = append(row, v)
+		}
+		t.AddRow(row...)
+	}
+	avg := []any{"GeoMean", 1.0}
+	for _, g := range geos {
+		avg = append(avg, stats.GeoMean(g))
+	}
+	t.AddRow(avg...)
+	return t
+}
+
+// Fig2a reproduces the first-touch NUMA allocator's stacked-DRAM hit
+// rate (paper average: 18.5 %).
+func Fig2a(m *Matrix) *stats.Table {
+	t := stats.NewTable("workload", "hit-rate%")
+	sum := 0.0
+	for _, wl := range m.Opts.Workloads {
+		hr := m.get(sim.PolicyNUMAFlat, wl).StackedHitRate * 100
+		sum += hr
+		t.AddRow(wl, hr)
+	}
+	t.AddRow("Average", sum/float64(len(m.Opts.Workloads)))
+	return t
+}
+
+// RunAutoNUMA produces the AutoNUMA results for Figures 2b/2c and 20:
+// one NUMA-flat run per workload per threshold.
+func RunAutoNUMA(o Options, thresholds []float64) (map[float64]map[string]*sim.Result, error) {
+	o = o.Defaults()
+	cfg := config.Default(o.Scale)
+	out := map[float64]map[string]*sim.Result{}
+	for _, th := range thresholds {
+		out[th] = map[string]*sim.Result{}
+		for _, wl := range o.Workloads {
+			prof, err := o.profile(wl)
+			if err != nil {
+				return nil, err
+			}
+			// The paper's 10M-cycle scan epochs assume 500M-instruction
+			// runs; scale the epoch so a run of this length spans a
+			// comparable number of epochs.
+			epoch := (o.Warmup + o.Instructions) / 8
+			if epoch < 100_000 {
+				epoch = 100_000
+			}
+			res, err := o.runOne(sim.Options{
+				Config:   cfg,
+				Policy:   sim.PolicyNUMAFlat,
+				Workload: prof,
+				AutoNUMA: &osmodel.AutoNUMAConfig{
+					EpochCycles: epoch,
+					Threshold:   th,
+					ScanPages:   4096,
+				},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("autonuma %.2f/%s: %w", th, wl, err)
+			}
+			out[th][wl] = res
+		}
+	}
+	return out, nil
+}
+
+// Fig2b reproduces the AutoNUMA stacked-DRAM hit rates at the 70/80/90%
+// thresholds (paper average ~64.4 %, rising with the threshold).
+func Fig2b(o Options, auto map[float64]map[string]*sim.Result) *stats.Table {
+	o = o.Defaults()
+	t := stats.NewTable("workload", "thresh-70%", "thresh-80%", "thresh-90%")
+	sums := make([]float64, 3)
+	ths := []float64{0.7, 0.8, 0.9}
+	for _, wl := range o.Workloads {
+		row := []any{wl}
+		for i, th := range ths {
+			hr := auto[th][wl].StackedHitRate * 100
+			sums[i] += hr
+			row = append(row, hr)
+		}
+		t.AddRow(row...)
+	}
+	avg := []any{"Average"}
+	for _, s := range sums {
+		avg = append(avg, s/float64(len(o.Workloads)))
+	}
+	t.AddRow(avg...)
+	return t
+}
+
+// Fig2c reproduces the cloverleaf AutoNUMA timeline: migrated pages and
+// cumulative hit rate per 10M-cycle epoch at the 90 % threshold.
+func Fig2c(o Options) (*stats.Table, error) {
+	o = o.Defaults()
+	o.Workloads = []string{"cloverleaf"}
+	auto, err := RunAutoNUMA(o, []float64{0.9})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("epoch", "migrations", "enomem", "hit-rate%")
+	for _, rec := range auto[0.9]["cloverleaf"].NUMATimeline {
+		t.AddRow(rec.Epoch, rec.Migrations, rec.Failed, rec.HitRate*100)
+	}
+	return t, nil
+}
+
+// Fig21 reproduces the mode-distribution sensitivity to the
+// stacked:off-chip capacity ratio for Chameleon-Opt (paper: 33 % cache
+// mode at 1:3, 40.6 % at 1:5, 48.7 % at 1:7).
+func Fig21(o Options) (*stats.Table, error) {
+	o = o.Defaults()
+	t := stats.NewTable("workload", "1:3-cache%", "1:5-cache%", "1:7-cache%")
+	sums := make([]float64, 3)
+	ratios := []int{3, 5, 7}
+	for _, wl := range o.Workloads {
+		prof, err := o.profile(wl)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{wl}
+		for i, ratio := range ratios {
+			cfg, err := config.Default(o.Scale).WithRatio(ratio)
+			if err != nil {
+				return nil, err
+			}
+			res, err := o.runOne(sim.Options{Config: cfg, Policy: sim.PolicyChameleonOpt, Workload: prof})
+			if err != nil {
+				return nil, fmt.Errorf("fig21 %d/%s: %w", ratio, wl, err)
+			}
+			frac := res.CacheModeFraction * 100
+			sums[i] += frac
+			row = append(row, frac)
+		}
+		t.AddRow(row...)
+	}
+	avg := []any{"Average"}
+	for _, s := range sums {
+		avg = append(avg, s/float64(len(o.Workloads)))
+	}
+	t.AddRow(avg...)
+	return t, nil
+}
+
+// Fig23 reproduces the sensitivity of normalised IPC to the capacity
+// ratio (paper: at 1:3 Chameleon/Chameleon-Opt beat PoM by 5.9 %/7.6 %;
+// at 1:7 by 8.1 %/12.4 %).
+func Fig23(o Options) (*stats.Table, error) {
+	o = o.Defaults()
+	t := stats.NewTable("ratio", "workload", "flat20", "flat24", "pom", "chameleon", "chameleon-opt")
+	for _, ratio := range []int{3, 7} {
+		cfg, err := config.Default(o.Scale).WithRatio(ratio)
+		if err != nil {
+			return nil, err
+		}
+		kinds := []sim.PolicyKind{sim.PolicyPoM, sim.PolicyChameleon, sim.PolicyChameleonOpt}
+		geos := make([][]float64, len(kinds)+1)
+		for _, wl := range o.Workloads {
+			prof, err := o.profile(wl)
+			if err != nil {
+				return nil, err
+			}
+			base, err := o.runOne(sim.Options{Config: cfg, Policy: sim.PolicyFlat, Workload: prof,
+				BaselineBytes: 20 * config.GB / o.Scale})
+			if err != nil {
+				return nil, err
+			}
+			b24, err := o.runOne(sim.Options{Config: cfg, Policy: sim.PolicyFlat, Workload: prof,
+				BaselineBytes: 24 * config.GB / o.Scale})
+			if err != nil {
+				return nil, err
+			}
+			row := []any{fmt.Sprintf("1:%d", ratio), wl, 1.0, b24.GeoMeanIPC / base.GeoMeanIPC}
+			geos[0] = append(geos[0], b24.GeoMeanIPC/base.GeoMeanIPC)
+			for i, k := range kinds {
+				res, err := o.runOne(sim.Options{Config: cfg, Policy: k, Workload: prof})
+				if err != nil {
+					return nil, err
+				}
+				v := res.GeoMeanIPC / base.GeoMeanIPC
+				geos[i+1] = append(geos[i+1], v)
+				row = append(row, v)
+			}
+			t.AddRow(row...)
+		}
+		avg := []any{fmt.Sprintf("1:%d", ratio), "GeoMean", 1.0}
+		for _, g := range geos {
+			avg = append(avg, stats.GeoMean(g))
+		}
+		t.AddRow(avg...)
+	}
+	return t, nil
+}
+
+// Table1 renders the simulated configuration.
+func Table1(o Options) *stats.Table {
+	o = o.Defaults()
+	c := config.Default(o.Scale)
+	t := stats.NewTable("component", "configuration")
+	t.AddRow("Cores", fmt.Sprintf("%d @ %.1f GHz, MLP %d", c.CPU.Cores, c.CPU.FreqHz/1e9, c.CPU.MaxMLP))
+	t.AddRow("L1(I/D)", fmt.Sprintf("%d KB, %d-way, %d B lines", c.L1.SizeBytes/config.KB, c.L1.Ways, c.L1.LineBytes))
+	t.AddRow("L2", fmt.Sprintf("%d KB, %d-way", c.L2.SizeBytes/config.KB, c.L2.Ways))
+	t.AddRow("L3", fmt.Sprintf("%d KB (shared), %d-way", c.L3.SizeBytes/config.KB, c.L3.Ways))
+	t.AddRow("Stacked DRAM", fmt.Sprintf("%d MB, %d ch, %d-bit @ %.1f GHz (%.1f GB/s)",
+		c.Fast.CapacityBytes/config.MB, c.Fast.Channels, c.Fast.BusWidthBits, c.Fast.BusFreqHz/1e9, c.Fast.PeakBandwidth()/1e9))
+	t.AddRow("Off-chip DRAM", fmt.Sprintf("%d MB, %d ch, %d-bit @ %.1f GHz (%.1f GB/s)",
+		c.Slow.CapacityBytes/config.MB, c.Slow.Channels, c.Slow.BusWidthBits, c.Slow.BusFreqHz/1e9, c.Slow.PeakBandwidth()/1e9))
+	t.AddRow("Page-fault latency", fmt.Sprintf("%d cycles (SSD)", c.OS.PageFaultCycles))
+	t.AddRow("Segment", fmt.Sprintf("%d B, swap threshold %d", c.MemSys.SegmentBytes, c.MemSys.SwapThreshold))
+	t.AddRow("Scale divisor", fmt.Sprintf("%d", o.Scale))
+	return t
+}
+
+// Table2 measures each workload's achieved LLC-MPKI and footprint in
+// the simulator, against the Table II targets.
+func Table2(m *Matrix) *stats.Table {
+	t := stats.NewTable("workload", "target-MPKI", "measured-MPKI", "footprint-GB(x scale)")
+	for _, wl := range m.Opts.Workloads {
+		res := m.get(sim.PolicyFlat, wl)
+		var mpki float64
+		for _, c := range res.Cores {
+			mpki += c.MPKI
+		}
+		mpki /= float64(len(res.Cores))
+		prof, _ := m.Opts.profile(wl)
+		fullGB := float64(prof.FootprintBytes*12) * float64(m.Opts.Scale) / float64(config.GB)
+		target, _ := m.Opts.profile(wl)
+		t.AddRow(wl, target.TargetLLCMPKI, mpki, fullGB)
+	}
+	return t
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"chameleon/internal/stats"
+)
+
+// OverheadParams parameterise the §VI-F analytic model of the
+// ISA-Alloc/ISA-Free overhead: every allocation/reclamation may trigger
+// one segment swap through the remapping hardware.
+type OverheadParams struct {
+	Swaps          float64 // ISA-triggered segment swaps over the run
+	CyclesPerLine  float64 // observed per-64B-line swap latency (CPU cycles)
+	SegmentBytes   float64
+	LineBytes      float64
+	CPUFreqHz      float64
+	ElapsedSeconds float64
+}
+
+// PaperOverheadParams are the constants the paper states for the model:
+// 242.8 M swaps over 53.8 h at 700 cycles/line on a 2.25 GHz Xeon.
+// Note that the paper's stated inputs give 2417 s (1.25 %), while its
+// printed result is 2071.89 s (1.06 %) — the printed result implies
+// ~600 cycles per line. Both are "well under 2 %", which is the claim
+// that matters; EXPERIMENTS.md records the discrepancy.
+func PaperOverheadParams() OverheadParams {
+	return OverheadParams{
+		Swaps:          242.8e6,
+		CyclesPerLine:  700,
+		SegmentBytes:   2048,
+		LineBytes:      64,
+		CPUFreqHz:      2.25e9,
+		ElapsedSeconds: 193_680,
+	}
+}
+
+// OverheadSeconds returns the time spent swapping segments.
+func (p OverheadParams) OverheadSeconds() float64 {
+	linesPerSeg := p.SegmentBytes / p.LineBytes
+	return p.Swaps * p.CyclesPerLine * linesPerSeg / p.CPUFreqHz
+}
+
+// OverheadPercent returns the swap time as a percentage of the
+// end-to-end execution time.
+func (p OverheadParams) OverheadPercent() float64 {
+	return p.OverheadSeconds() / p.ElapsedSeconds * 100
+}
+
+// Overhead renders the §VI-F overhead analysis with the paper's stated
+// constants, plus the 600-cycles/line variant implied by the paper's
+// printed 2071.89 s / 1.06 % result.
+func Overhead() *stats.Table {
+	p := PaperOverheadParams()
+	t := stats.NewTable("quantity", "value")
+	t.AddRow("ISA-triggered swaps", p.Swaps)
+	t.AddRow("cycles per 64B line (stated)", p.CyclesPerLine)
+	t.AddRow("lines per segment", p.SegmentBytes/p.LineBytes)
+	t.AddRow("swap time (s)", p.OverheadSeconds())
+	t.AddRow("elapsed time (s)", p.ElapsedSeconds)
+	t.AddRow("overhead (%)", p.OverheadPercent())
+	implied := p
+	implied.CyclesPerLine = 600
+	t.AddRow("overhead (%) at 600 cyc/line (paper's printed figure)", implied.OverheadPercent())
+	return t
+}

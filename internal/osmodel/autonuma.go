@@ -1,0 +1,201 @@
+package osmodel
+
+import "sort"
+
+// AutoNUMAConfig parameterises the Linux automatic NUMA balancing
+// model (§II-B2, §III-A2 of the paper).
+type AutoNUMAConfig struct {
+	// EpochCycles is the numa_balancing_scan_period expressed in CPU
+	// cycles (the paper uses 10 M-cycle epochs).
+	EpochCycles uint64
+	// Threshold is the numa_period_threshold (0.7 / 0.8 / 0.9). Higher
+	// thresholds migrate misplaced pages more aggressively: migration
+	// is triggered while the remote access ratio exceeds 1-Threshold.
+	Threshold float64
+	// ScanPages bounds how many misplaced pages can migrate per epoch.
+	ScanPages int
+	// HintFaultEvery and HintFaultCycles model the cost of AutoNUMA's
+	// sampling: the balancer poisons page-table entries, so roughly one
+	// in HintFaultEvery accesses takes a minor "NUMA hint fault" of
+	// HintFaultCycles to classify the access (§II-B2). Defaults: one in
+	// 2048 accesses, 2000 cycles.
+	HintFaultEvery  uint64
+	HintFaultCycles uint64
+}
+
+// EpochRecord is one point of the Figure 2c timeline.
+type EpochRecord struct {
+	Epoch      int
+	Migrations int
+	Failed     int     // -ENOMEM migration failures
+	HitRate    float64 // cumulative stacked hit rate at epoch end
+}
+
+// AutoNUMA is the epoch-based page-migration engine.
+type AutoNUMA struct {
+	cfg       AutoNUMAConfig
+	os        *OS
+	nextEpoch uint64
+	epoch     int
+	period    uint64 // current (adaptive) scan period
+
+	localAcc  uint64 // accesses to the stacked node this epoch
+	remoteAcc uint64
+	counts    map[uint32]uint32 // off-chip frame -> accesses this epoch
+	sampleCnt uint64            // accesses since the last hint fault
+
+	timeline []EpochRecord
+}
+
+// EnableAutoNUMA attaches an AutoNUMA engine to the OS. Call Tick
+// periodically with the current cycle to run epoch processing.
+func (o *OS) EnableAutoNUMA(cfg AutoNUMAConfig) *AutoNUMA {
+	if cfg.EpochCycles == 0 {
+		cfg.EpochCycles = 10_000_000
+	}
+	if cfg.ScanPages == 0 {
+		cfg.ScanPages = 4096
+	}
+	if cfg.HintFaultEvery == 0 {
+		cfg.HintFaultEvery = 2048
+	}
+	if cfg.HintFaultCycles == 0 {
+		cfg.HintFaultCycles = 2000
+	}
+	a := &AutoNUMA{
+		cfg:       cfg,
+		os:        o,
+		nextEpoch: cfg.EpochCycles,
+		period:    cfg.EpochCycles,
+		counts:    make(map[uint32]uint32),
+	}
+	o.auto = a
+	return a
+}
+
+// record is called by OS.Translate for every access. The returned
+// stall is the NUMA hint-fault cost when this access hit a poisoned
+// page-table entry.
+func (a *AutoNUMA) record(frame uint32, onFast bool) (stall uint64) {
+	if onFast {
+		a.localAcc++
+	} else {
+		a.remoteAcc++
+		a.counts[frame]++
+	}
+	a.sampleCnt++
+	if a.sampleCnt >= a.cfg.HintFaultEvery {
+		a.sampleCnt = 0
+		a.os.stats.HintFaults++
+		return a.cfg.HintFaultCycles
+	}
+	return 0
+}
+
+// Timeline returns the per-epoch migration/hit-rate records.
+func (a *AutoNUMA) Timeline() []EpochRecord { return a.timeline }
+
+// ResetWindow discards the current epoch's access samples. The
+// simulator calls it after prefaulting so that the one-time
+// initialisation sweep does not masquerade as hot traffic in the first
+// scan epoch.
+func (a *AutoNUMA) ResetWindow() {
+	a.localAcc, a.remoteAcc = 0, 0
+	clear(a.counts)
+}
+
+// Tick runs any epochs that have elapsed up to the given cycle.
+func (a *AutoNUMA) Tick(now uint64) {
+	for now >= a.nextEpoch {
+		a.runEpoch(a.nextEpoch)
+		a.nextEpoch += a.period
+	}
+}
+
+// runEpoch migrates the hottest misplaced (off-chip) pages to the
+// stacked node while the remote-access ratio exceeds the configured
+// trigger, bounded by the scan budget and by free stacked frames
+// (migration fails with -ENOMEM when the node is full — the behaviour
+// behind the hit-rate decay in Figure 2c).
+func (a *AutoNUMA) runEpoch(now uint64) {
+	a.epoch++
+	rec := EpochRecord{Epoch: a.epoch}
+
+	total := a.localAcc + a.remoteAcc
+	remoteRatio := 0.0
+	if total > 0 {
+		remoteRatio = float64(a.remoteAcc) / float64(total)
+	}
+	// Adaptive scan period (§II-B2): while the remote ratio exceeds the
+	// threshold's trigger the balancer scans more and more frequently
+	// (down to 1/8 of the base period); once placement looks good the
+	// period backs off (up to 4x the base). A higher
+	// numa_period_threshold therefore keeps migrating at remote ratios
+	// where a lower one has already gone quiet — the reason the 90%
+	// threshold reaches higher hit rates in Figure 2b.
+	triggered := remoteRatio > 1-a.cfg.Threshold
+	if triggered {
+		if a.period > a.cfg.EpochCycles/8 {
+			a.period /= 2
+		}
+	} else if a.period < a.cfg.EpochCycles*4 {
+		a.period *= 2
+	}
+	if triggered && len(a.counts) > 0 {
+		// Hottest first.
+		frames := make([]uint32, 0, len(a.counts))
+		for f := range a.counts {
+			frames = append(frames, f)
+		}
+		sort.Slice(frames, func(i, j int) bool {
+			ci, cj := a.counts[frames[i]], a.counts[frames[j]]
+			if ci != cj {
+				return ci > cj
+			}
+			return frames[i] < frames[j]
+		})
+		budget := a.cfg.ScanPages
+		for _, f := range frames {
+			if budget == 0 {
+				break
+			}
+			if a.os.meta[f].proc < 0 {
+				continue // freed since it was counted
+			}
+			if len(a.os.free[0]) == 0 {
+				rec.Failed++
+				a.os.stats.MigrateFails++
+				break
+			}
+			a.migrate(f, now)
+			rec.Migrations++
+			budget--
+		}
+	}
+
+	rec.HitRate = a.os.StackedHitRate()
+	a.timeline = append(a.timeline, rec)
+	a.localAcc, a.remoteAcc = 0, 0
+	clear(a.counts)
+}
+
+// migrate moves one off-chip frame's page to a free stacked frame.
+func (a *AutoNUMA) migrate(from uint32, now uint64) {
+	o := a.os
+	l := o.free[0]
+	to := l[len(l)-1]
+	o.free[0] = l[:len(l)-1]
+
+	m := o.meta[from]
+	p := o.procs[m.proc]
+	p.table[m.vpage] = to
+	o.meta[to] = frameMeta{proc: m.proc, vpage: m.vpage, ref: true}
+	o.meta[from].proc = -1
+	o.free[1] = append(o.free[1], from)
+	o.stats.Migrations++
+	// ISA notifications: in an OS-managed NUMA system there is no
+	// hardware remapping, so no notifier is attached; if one is, keep
+	// its allocation view coherent.
+	o.notifyAlloc(now, to)
+	o.notifyFree(now, from)
+}

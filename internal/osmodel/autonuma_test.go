@@ -1,0 +1,149 @@
+package osmodel
+
+import (
+	"testing"
+
+	"chameleon/internal/rng"
+)
+
+func autoCfg(threshold float64) AutoNUMAConfig {
+	return AutoNUMAConfig{EpochCycles: 1000, Threshold: threshold, ScanPages: 64}
+}
+
+// TestAutoNUMAMigratesHotPages: pages placed off-chip that receive most
+// accesses migrate to the stacked node, raising the hit rate.
+func TestAutoNUMAMigratesHotPages(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Alloc = AllocSequential
+	o := testOS(t, cfg, nil)
+	a := o.EnableAutoNUMA(autoCfg(0.9))
+	p := o.NewProcess()
+
+	// Fill the fast node with cold pages, then place hot pages off-chip.
+	fastPages := cfg.FastBytes / cfg.PageBytes
+	for i := uint64(0); i < fastPages; i++ {
+		o.Translate(p, i*cfg.PageBytes, 0)
+	}
+	hotStart := fastPages
+	for i := uint64(0); i < 8; i++ {
+		o.Translate(p, (hotStart+i)*cfg.PageBytes, 0)
+	}
+	// Free some fast-node pages so migration has a destination.
+	for i := uint64(0); i < 16; i++ {
+		o.FreeRange(p, i*cfg.PageBytes, cfg.PageBytes, 0)
+	}
+	// Hammer the hot (off-chip) pages across epochs.
+	now := uint64(0)
+	for e := 0; e < 20; e++ {
+		for r := 0; r < 50; r++ {
+			for i := uint64(0); i < 8; i++ {
+				o.Translate(p, (hotStart+i)*cfg.PageBytes, now)
+			}
+		}
+		now += 1000
+		a.Tick(now)
+	}
+	if o.Stats().Migrations == 0 {
+		t.Fatal("no pages migrated")
+	}
+	// The hot pages should now live on the fast node.
+	onFast := 0
+	for i := uint64(0); i < 8; i++ {
+		phys, _ := o.Translate(p, (hotStart+i)*cfg.PageBytes, now)
+		if uint64(phys) < cfg.FastBytes {
+			onFast++
+		}
+	}
+	if onFast < 6 {
+		t.Errorf("only %d/8 hot pages migrated to the fast node", onFast)
+	}
+	if len(a.Timeline()) == 0 {
+		t.Error("no epoch records")
+	}
+}
+
+// TestAutoNUMAENOMEM: with the fast node full, migrations fail (the
+// paper's -ENOMEM behaviour behind Figure 2c's decay).
+func TestAutoNUMAENOMEM(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Alloc = AllocFirstTouch
+	o := testOS(t, cfg, nil)
+	a := o.EnableAutoNUMA(autoCfg(0.9))
+	p := o.NewProcess()
+	pages := cfg.TotalBytes / cfg.PageBytes
+	for i := uint64(0); i < pages; i++ {
+		o.Translate(p, i*cfg.PageBytes, 0)
+	}
+	// Hammer off-chip pages; the fast node has no free frames.
+	fastPages := cfg.FastBytes / cfg.PageBytes
+	now := uint64(0)
+	for e := 0; e < 5; e++ {
+		for r := 0; r < 100; r++ {
+			o.Translate(p, (fastPages+uint64(r%8))*cfg.PageBytes, now)
+		}
+		now += 1000
+		a.Tick(now)
+	}
+	if o.Stats().Migrations != 0 {
+		t.Error("migration succeeded with a full fast node")
+	}
+	if o.Stats().MigrateFails == 0 {
+		t.Error("-ENOMEM failures not recorded")
+	}
+}
+
+// TestAutoNUMAThresholdGate: with a low threshold and a mostly-local
+// access pattern, no migration is triggered.
+func TestAutoNUMAThresholdGate(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Alloc = AllocFirstTouch
+	o := testOS(t, cfg, nil)
+	a := o.EnableAutoNUMA(autoCfg(0.7)) // trigger only if remote > 30%
+	p := o.NewProcess()
+	fastPages := cfg.FastBytes / cfg.PageBytes
+	for i := uint64(0); i <= fastPages; i++ {
+		o.Translate(p, i*cfg.PageBytes, 0)
+	}
+	// 90% local, 10% remote accesses.
+	r := rng.New(1)
+	now := uint64(0)
+	for e := 0; e < 10; e++ {
+		for i := 0; i < 100; i++ {
+			if r.Intn(10) == 0 {
+				o.Translate(p, fastPages*cfg.PageBytes, now)
+			} else {
+				o.Translate(p, uint64(r.Intn(int(fastPages)))*cfg.PageBytes, now)
+			}
+		}
+		now += 1000
+		a.Tick(now)
+	}
+	if o.Stats().Migrations != 0 {
+		t.Errorf("migrated %d pages below the remote-ratio trigger", o.Stats().Migrations)
+	}
+}
+
+func TestAutoNUMATimelineHitRate(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Alloc = AllocFirstTouch
+	o := testOS(t, cfg, nil)
+	a := o.EnableAutoNUMA(autoCfg(0.9))
+	p := o.NewProcess()
+	o.Translate(p, 0, 0) // fast-node page
+	a.Tick(1000)
+	tl := a.Timeline()
+	if len(tl) != 1 {
+		t.Fatalf("timeline length = %d", len(tl))
+	}
+	if tl[0].HitRate != 1 {
+		t.Errorf("epoch hit rate = %v, want 1", tl[0].HitRate)
+	}
+}
+
+func TestAutoNUMADefaults(t *testing.T) {
+	o := testOS(t, baseCfg(), nil)
+	a := o.EnableAutoNUMA(AutoNUMAConfig{Threshold: 0.9})
+	if a.cfg.EpochCycles == 0 || a.cfg.ScanPages == 0 {
+		t.Error("defaults not applied")
+	}
+}

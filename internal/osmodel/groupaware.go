@@ -1,0 +1,111 @@
+package osmodel
+
+import "chameleon/internal/addr"
+
+// Group-aware allocation implements the paper's §VI-G future-work
+// proposal: expose the segment-group structure to the OS so the
+// allocator can place pages to maximise the number of groups that keep
+// at least one free segment — i.e. the number of groups Chameleon-Opt
+// can run in cache mode. The allocator tracks free-way counts per
+// group and, on each allocation, samples a few candidate frames and
+// picks the one whose groups have the most free ways to spare
+// (power-of-k-choices keeps the cost O(1) per allocation).
+
+// groupTracker maintains per-group free-way counts for group-aware
+// placement.
+type groupTracker struct {
+	space    *addr.Space
+	freeWays []uint16 // per group: unallocated ways
+	segsPer  uint64   // segments per page
+}
+
+func newGroupTracker(space *addr.Space, pageBytes uint64) *groupTracker {
+	t := &groupTracker{
+		space:    space,
+		freeWays: make([]uint16, space.Groups()),
+		segsPer:  pageBytes / space.SegBytes,
+	}
+	for g := range t.freeWays {
+		t.freeWays[g] = uint16(space.Ways())
+	}
+	return t
+}
+
+// groupsOf iterates the groups covered by a frame's segments.
+func (t *groupTracker) groupsOf(frame uint32, pageBytes uint64, fn func(addr.Group)) {
+	base := uint64(frame) * pageBytes
+	for off := uint64(0); off < pageBytes; off += t.space.SegBytes {
+		g, _ := t.space.GroupOf(t.space.SegOf(addr.Phys(base + off)))
+		fn(g)
+	}
+}
+
+// score rates a candidate frame: the minimum post-allocation free-way
+// count across the groups it touches. Higher is better — allocating
+// from a group with many free ways never costs a cache-capable group,
+// while taking a group's last free way (score 0) does.
+func (t *groupTracker) score(frame uint32, pageBytes uint64) int {
+	best := int(^uint(0) >> 1)
+	t.groupsOf(frame, pageBytes, func(g addr.Group) {
+		if v := int(t.freeWays[g]) - 1; v < best {
+			best = v
+		}
+	})
+	return best
+}
+
+func (t *groupTracker) allocate(frame uint32, pageBytes uint64) {
+	t.groupsOf(frame, pageBytes, func(g addr.Group) {
+		if t.freeWays[g] > 0 {
+			t.freeWays[g]--
+		}
+	})
+}
+
+func (t *groupTracker) release(frame uint32, pageBytes uint64) {
+	t.groupsOf(frame, pageBytes, func(g addr.Group) {
+		if int(t.freeWays[g]) < t.space.Ways() {
+			t.freeWays[g]++
+		}
+	})
+}
+
+// CacheCapableGroups returns how many groups still have a free way —
+// the upper bound on Chameleon-Opt's cache-mode groups.
+func (t *groupTracker) cacheCapableGroups() (n uint32) {
+	for _, f := range t.freeWays {
+		if f > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// groupAwareSamples is the number of candidate frames examined per
+// allocation.
+const groupAwareSamples = 8
+
+// allocGroupAware picks a frame by sampling candidates from the free
+// lists and maximising the group-tracker score. The caller guarantees
+// at least one free frame exists.
+func (o *OS) allocGroupAware() uint32 {
+	nf, ns := len(o.free[0]), len(o.free[1])
+	total := nf + ns
+	bestList, bestIdx, bestScore := -1, -1, -1
+	for s := 0; s < groupAwareSamples; s++ {
+		k := int(o.rnd.Uint64n(uint64(total)))
+		list, idx := 0, k
+		if k >= nf {
+			list, idx = 1, k-nf
+		}
+		frame := o.free[list][idx]
+		if sc := o.groups.score(frame, o.cfg.PageBytes); sc > bestScore {
+			bestList, bestIdx, bestScore = list, idx, sc
+		}
+	}
+	l := o.free[bestList]
+	frame := l[bestIdx]
+	l[bestIdx] = l[len(l)-1]
+	o.free[bestList] = l[:len(l)-1]
+	return frame
+}

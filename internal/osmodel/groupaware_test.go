@@ -1,0 +1,105 @@
+package osmodel
+
+import (
+	"testing"
+
+	"chameleon/internal/addr"
+)
+
+// gaCfg builds a group-aware OS over an 8 MB + 40 MB space with 2 KB
+// segments and 4 KB pages (each page spans 2 segments).
+func gaCfg(t *testing.T) (Config, *addr.Space) {
+	t.Helper()
+	sp, err := addr.NewSpace(1<<23, 5<<23, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		TotalBytes:      sp.TotalBytes(),
+		FastBytes:       0,
+		PageBytes:       4096,
+		SegBytes:        2048,
+		PageFaultCycles: 100_000,
+		Alloc:           AllocGroupAware,
+		Seed:            3,
+		Space:           sp,
+	}, sp
+}
+
+func TestGroupAwareRequiresSpace(t *testing.T) {
+	cfg, _ := gaCfg(t)
+	cfg.Space = nil
+	if _, err := New(cfg, nil); err == nil {
+		t.Error("AllocGroupAware without Space should fail")
+	}
+}
+
+func TestGroupAwareSpaceMismatch(t *testing.T) {
+	cfg, _ := gaCfg(t)
+	cfg.TotalBytes += cfg.PageBytes
+	if _, err := New(cfg, nil); err == nil {
+		t.Error("mismatched Space/TotalBytes should fail")
+	}
+}
+
+// TestGroupAwareKeepsMoreGroupsCacheCapable is the point of §VI-G: at
+// the same footprint, group-aware placement leaves more segment groups
+// with a free segment than uniform placement.
+func TestGroupAwareKeepsMoreGroupsCacheCapable(t *testing.T) {
+	capable := func(alloc AllocPolicy) float64 {
+		cfg, sp := gaCfg(t)
+		cfg.Alloc = alloc
+		o, err := New(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := o.NewProcess()
+		// Allocate 85% of memory.
+		pages := cfg.TotalBytes / cfg.PageBytes * 85 / 100
+		for i := uint64(0); i < pages; i++ {
+			o.Translate(p, i*cfg.PageBytes, 0)
+		}
+		// Count groups with >= 1 free way by replaying the frame map.
+		tr := newGroupTracker(sp, cfg.PageBytes)
+		for f := uint32(0); uint64(f) < cfg.TotalBytes/cfg.PageBytes; f++ {
+			if o.meta[f].proc >= 0 {
+				tr.allocate(f, cfg.PageBytes)
+			}
+		}
+		return float64(tr.cacheCapableGroups()) / float64(sp.Groups())
+	}
+	shuffled := capable(AllocShuffled)
+	aware := capable(AllocGroupAware)
+	t.Logf("cache-capable groups at 85%% footprint: shuffled %.3f, group-aware %.3f", shuffled, aware)
+	if aware <= shuffled {
+		t.Errorf("group-aware placement (%.3f) should beat uniform (%.3f)", aware, shuffled)
+	}
+}
+
+func TestGroupAwareTrackerConsistency(t *testing.T) {
+	cfg, sp := gaCfg(t)
+	o, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := o.NewProcess()
+	// Allocate and free a few times; the tracker must return to the
+	// all-free state.
+	for round := 0; round < 3; round++ {
+		for i := uint64(0); i < 100; i++ {
+			o.Translate(p, i*cfg.PageBytes, 0)
+		}
+		o.FreeAll(p, 0)
+	}
+	if got := o.CacheCapableGroups(); got != sp.Groups() {
+		t.Errorf("after freeing everything, %d/%d groups capable", got, sp.Groups())
+	}
+}
+
+func TestCacheCapableGroupsZeroWithoutTracker(t *testing.T) {
+	cfg := baseCfg()
+	o := testOS(t, cfg, nil)
+	if o.CacheCapableGroups() != 0 {
+		t.Error("non-group-aware OS should report 0")
+	}
+}

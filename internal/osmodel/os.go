@@ -1,0 +1,462 @@
+// Package osmodel implements the operating-system half of the
+// Chameleon co-design: physical frame management over the OS-visible
+// address space, per-process demand paging with page faults to an SSD,
+// explicit reclamation, and the ISA-Alloc/ISA-Free notifications of
+// Algorithms 1 and 2 of the paper. It also implements the two OS-based
+// NUMA placement policies the paper compares against (first-touch
+// allocation and AutoNUMA migration).
+package osmodel
+
+import (
+	"fmt"
+
+	"chameleon/internal/addr"
+	"chameleon/internal/rng"
+)
+
+// Notifier receives the ISA-Alloc/ISA-Free instructions the OS issues
+// per segment (Algorithms 1 and 2). Memory-system controllers implement
+// it.
+type Notifier interface {
+	ISAAlloc(now uint64, seg addr.Seg)
+	ISAFree(now uint64, seg addr.Seg)
+}
+
+// AllocPolicy selects the order in which free frames are handed out.
+type AllocPolicy int
+
+// Frame allocation policies.
+const (
+	// AllocShuffled models a long-running buddy allocator: frames are
+	// handed out in pseudo-random order across the whole space. This
+	// is the default for hardware-managed memory systems (the OS sees
+	// a single node).
+	AllocShuffled AllocPolicy = iota
+	// AllocFirstTouch is the NUMA-aware local/first-touch policy:
+	// stacked-node frames are exhausted before off-chip frames.
+	AllocFirstTouch
+	// AllocSequential hands out frames in ascending address order.
+	AllocSequential
+	// AllocInterleave alternates between the nodes while both have
+	// free frames.
+	AllocInterleave
+	// AllocSlowFirst exhausts the off-chip node before touching the
+	// stacked node. This is how a kernel whose CPUs are associated with
+	// the large node behaves, and it is the allocation order under
+	// which AutoNUMA's migration race (Figure 2c) can play out: the
+	// stacked node keeps free frames until the footprint nears the
+	// total capacity.
+	AllocSlowFirst
+	// AllocGroupAware implements the paper's §VI-G proposal: the OS
+	// tracks segment-group occupancy and places pages so that as many
+	// groups as possible keep a free segment (and thus stay usable as
+	// Chameleon cache). Requires Config.Space.
+	AllocGroupAware
+)
+
+func (p AllocPolicy) String() string {
+	switch p {
+	case AllocShuffled:
+		return "shuffled"
+	case AllocFirstTouch:
+		return "first-touch"
+	case AllocSequential:
+		return "sequential"
+	case AllocInterleave:
+		return "interleave"
+	case AllocSlowFirst:
+		return "slow-first"
+	case AllocGroupAware:
+		return "group-aware"
+	}
+	return fmt.Sprintf("AllocPolicy(%d)", int(p))
+}
+
+// Config parameterises the OS model.
+type Config struct {
+	TotalBytes      uint64 // OS-visible physical capacity
+	FastBytes       uint64 // portion of the space on the stacked node (0 if none)
+	PageBytes       uint64 // page size (4 KB or a 2 MB THP)
+	SegBytes        uint64 // hardware segment size; 0 disables ISA notifications
+	PageFaultCycles uint64 // major-fault (SSD) stall
+	Alloc           AllocPolicy
+	Seed            uint64
+	// Space is the segment-group geometry, required by AllocGroupAware.
+	Space *addr.Space
+}
+
+// Stats aggregates OS activity.
+type Stats struct {
+	MinorFaults  uint64 // first-touch mappings backed by a free frame
+	MajorFaults  uint64 // faults that had to evict to the SSD
+	Evictions    uint64
+	FreedPages   uint64
+	FaultCycles  uint64 // total cycles stalled on major faults
+	Migrations   uint64 // AutoNUMA page migrations
+	MigrateFails uint64 // AutoNUMA -ENOMEM failures
+	HintFaults   uint64 // AutoNUMA sampling (PTE-poison) faults
+}
+
+const noFrame = ^uint32(0)
+
+type frameMeta struct {
+	proc  int32 // -1 = free
+	vpage uint32
+	ref   bool
+}
+
+// Process is a simulated address space.
+type Process struct {
+	id       int
+	table    []uint32 // vpage -> frame (noFrame when unmapped)
+	resident uint64   // mapped pages
+}
+
+// ID returns the process identifier.
+func (p *Process) ID() int { return p.id }
+
+// ResidentBytes returns the process's resident set size.
+func (p *Process) ResidentBytes(pageBytes uint64) uint64 { return p.resident * pageBytes }
+
+// OS is the operating-system model.
+type OS struct {
+	cfg        Config
+	frames     uint64 // total frames
+	fastFrames uint64 // frames on the stacked node
+	free       [2][]uint32
+	meta       []frameMeta
+	procs      []*Process
+	hand       uint64 // CLOCK hand
+	notifier   Notifier
+	rnd        *rng.RNG
+	inext      int // interleave cursor
+	stats      Stats
+	auto       *AutoNUMA
+	groups     *groupTracker // non-nil for AllocGroupAware
+
+	// access counters for stacked-node hit-rate reporting
+	fastTouches  uint64
+	totalTouches uint64
+}
+
+// New builds the OS model. notifier may be nil (no hardware
+// co-design).
+func New(cfg Config, notifier Notifier) (*OS, error) {
+	if cfg.PageBytes == 0 || cfg.PageBytes&(cfg.PageBytes-1) != 0 {
+		return nil, fmt.Errorf("osmodel: page size must be a power of two, got %d", cfg.PageBytes)
+	}
+	if cfg.TotalBytes == 0 || cfg.TotalBytes%cfg.PageBytes != 0 {
+		return nil, fmt.Errorf("osmodel: capacity %d must be a non-zero multiple of the page size", cfg.TotalBytes)
+	}
+	if cfg.FastBytes%cfg.PageBytes != 0 || cfg.FastBytes > cfg.TotalBytes {
+		return nil, fmt.Errorf("osmodel: fast capacity %d invalid", cfg.FastBytes)
+	}
+	if cfg.SegBytes != 0 && cfg.SegBytes > cfg.PageBytes {
+		return nil, fmt.Errorf("osmodel: segment size %d exceeds page size %d", cfg.SegBytes, cfg.PageBytes)
+	}
+	if cfg.Alloc == AllocGroupAware {
+		if cfg.Space == nil {
+			return nil, fmt.Errorf("osmodel: AllocGroupAware requires the segment-group geometry (Config.Space)")
+		}
+		if cfg.Space.TotalBytes() != cfg.TotalBytes {
+			return nil, fmt.Errorf("osmodel: Space covers %d bytes, capacity is %d", cfg.Space.TotalBytes(), cfg.TotalBytes)
+		}
+		if cfg.PageBytes%cfg.Space.SegBytes != 0 {
+			return nil, fmt.Errorf("osmodel: page size %d not a multiple of the segment size %d", cfg.PageBytes, cfg.Space.SegBytes)
+		}
+	}
+	o := &OS{
+		cfg:        cfg,
+		frames:     cfg.TotalBytes / cfg.PageBytes,
+		fastFrames: cfg.FastBytes / cfg.PageBytes,
+		notifier:   notifier,
+		rnd:        rng.New(cfg.Seed),
+	}
+	o.meta = make([]frameMeta, o.frames)
+	for i := range o.meta {
+		o.meta[i].proc = -1
+	}
+	fast := make([]uint32, 0, o.fastFrames)
+	slow := make([]uint32, 0, o.frames-o.fastFrames)
+	// Free lists are stacks; push in descending order so that
+	// sequential allocation pops ascending addresses.
+	for f := int64(o.frames) - 1; f >= 0; f-- {
+		if uint64(f) < o.fastFrames {
+			fast = append(fast, uint32(f))
+		} else {
+			slow = append(slow, uint32(f))
+		}
+	}
+	if cfg.Alloc == AllocShuffled {
+		o.rnd.Shuffle(len(fast), func(i, j int) { fast[i], fast[j] = fast[j], fast[i] })
+		o.rnd.Shuffle(len(slow), func(i, j int) { slow[i], slow[j] = slow[j], slow[i] })
+	}
+	o.free[0], o.free[1] = fast, slow
+	if cfg.Alloc == AllocGroupAware {
+		o.groups = newGroupTracker(cfg.Space, cfg.PageBytes)
+	}
+	return o, nil
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (o *OS) Stats() Stats { return o.stats }
+
+// ResetStats clears the statistics and hit-rate counters (mappings and
+// free lists are preserved).
+func (o *OS) ResetStats() {
+	o.stats = Stats{}
+	o.fastTouches, o.totalTouches = 0, 0
+}
+
+// Config returns the OS configuration.
+func (o *OS) Config() Config { return o.cfg }
+
+// NewProcess creates an address space.
+func (o *OS) NewProcess() *Process {
+	p := &Process{id: len(o.procs)}
+	o.procs = append(o.procs, p)
+	return p
+}
+
+// FreeBytes returns the total unallocated physical memory.
+func (o *OS) FreeBytes() uint64 {
+	return uint64(len(o.free[0])+len(o.free[1])) * o.cfg.PageBytes
+}
+
+// FastFreeBytes returns unallocated memory on the stacked node.
+func (o *OS) FastFreeBytes() uint64 {
+	return uint64(len(o.free[0])) * o.cfg.PageBytes
+}
+
+// StackedHitRate returns the fraction of translated accesses that
+// landed on the stacked node.
+func (o *OS) StackedHitRate() float64 {
+	if o.totalTouches == 0 {
+		return 0
+	}
+	return float64(o.fastTouches) / float64(o.totalTouches)
+}
+
+// pickNode chooses which node to allocate from, per the policy.
+func (o *OS) pickNode() int {
+	nf, ns := len(o.free[0]), len(o.free[1])
+	if nf == 0 && ns == 0 {
+		return -1
+	}
+	if nf == 0 {
+		return 1
+	}
+	if ns == 0 {
+		return 0
+	}
+	switch o.cfg.Alloc {
+	case AllocFirstTouch, AllocSequential:
+		return 0
+	case AllocSlowFirst:
+		return 1
+	case AllocInterleave:
+		o.inext ^= 1
+		return o.inext
+	default: // AllocShuffled: weight by free count => uniform over frames
+		if o.rnd.Uint64n(uint64(nf+ns)) < uint64(nf) {
+			return 0
+		}
+		return 1
+	}
+}
+
+// allocFrame pops a free frame, or evicts a victim when memory is
+// exhausted. It returns the frame and whether the allocation required
+// an eviction (a major fault for the toucher).
+func (o *OS) allocFrame(now uint64) (uint32, bool) {
+	if o.groups != nil && len(o.free[0])+len(o.free[1]) > 0 {
+		f := o.allocGroupAware()
+		o.groups.allocate(f, o.cfg.PageBytes)
+		o.notifyAlloc(now, f)
+		return f, false
+	}
+	node := o.pickNode()
+	if node >= 0 {
+		l := o.free[node]
+		f := l[len(l)-1]
+		o.free[node] = l[:len(l)-1]
+		o.notifyAlloc(now, f)
+		return f, false
+	}
+	return o.evict(), true
+}
+
+// CacheCapableGroups returns, under AllocGroupAware, how many segment
+// groups still have a free segment (0 otherwise).
+func (o *OS) CacheCapableGroups() uint32 {
+	if o.groups == nil {
+		return 0
+	}
+	return o.groups.cacheCapableGroups()
+}
+
+// evict runs the CLOCK algorithm to pick and unmap a victim frame.
+// The frame remains allocated (it is immediately reused), so no ISA
+// notifications are issued.
+func (o *OS) evict() uint32 {
+	for sweep := uint64(0); sweep < 2*o.frames+1; sweep++ {
+		f := o.hand
+		o.hand = (o.hand + 1) % o.frames
+		m := &o.meta[f]
+		if m.proc < 0 {
+			continue
+		}
+		if m.ref {
+			m.ref = false
+			continue
+		}
+		p := o.procs[m.proc]
+		p.table[m.vpage] = noFrame
+		p.resident--
+		m.proc = -1
+		o.stats.Evictions++
+		return uint32(f)
+	}
+	panic("osmodel: evict found no resident frame")
+}
+
+func (o *OS) notifyAlloc(now uint64, frame uint32) {
+	if o.notifier == nil || o.cfg.SegBytes == 0 {
+		return
+	}
+	base := uint64(frame) * o.cfg.PageBytes
+	for off := uint64(0); off < o.cfg.PageBytes; off += o.cfg.SegBytes {
+		o.notifier.ISAAlloc(now, addr.Seg((base+off)/o.cfg.SegBytes))
+	}
+}
+
+func (o *OS) notifyFree(now uint64, frame uint32) {
+	if o.notifier == nil || o.cfg.SegBytes == 0 {
+		return
+	}
+	base := uint64(frame) * o.cfg.PageBytes
+	for off := uint64(0); off < o.cfg.PageBytes; off += o.cfg.SegBytes {
+		o.notifier.ISAFree(now, addr.Seg((base+off)/o.cfg.SegBytes))
+	}
+}
+
+// Translate maps a virtual address to its OS physical address,
+// demand-paging on first touch. stall is the page-fault penalty (0,
+// or PageFaultCycles when the fault had to evict to the SSD).
+func (o *OS) Translate(p *Process, vaddr uint64, now uint64) (phys addr.Phys, stall uint64) {
+	vpage := vaddr / o.cfg.PageBytes
+	for uint64(len(p.table)) <= vpage {
+		p.table = append(p.table, noFrame)
+	}
+	frame := p.table[vpage]
+	if frame == noFrame {
+		var evicted bool
+		frame, evicted = o.allocFrame(now)
+		if evicted {
+			o.stats.MajorFaults++
+			o.stats.FaultCycles += o.cfg.PageFaultCycles
+			stall = o.cfg.PageFaultCycles
+		} else {
+			o.stats.MinorFaults++
+		}
+		m := &o.meta[frame]
+		m.proc = int32(p.id)
+		m.vpage = uint32(vpage)
+		p.table[vpage] = frame
+		p.resident++
+	}
+	m := &o.meta[frame]
+	m.ref = true
+	onFast := uint64(frame) < o.fastFrames
+	o.totalTouches++
+	if onFast {
+		o.fastTouches++
+	}
+	if o.auto != nil {
+		stall += o.auto.record(frame, onFast)
+	}
+	return addr.Phys(uint64(frame)*o.cfg.PageBytes + vaddr%o.cfg.PageBytes), stall
+}
+
+// Map eagerly maps [vaddr, vaddr+bytes) (used by OS-level capacity
+// experiments that do not need per-access timing). It returns the
+// number of major faults incurred.
+func (o *OS) Map(p *Process, vaddr, bytes uint64, now uint64) (majors uint64) {
+	end := vaddr + bytes
+	for va := vaddr &^ (o.cfg.PageBytes - 1); va < end; va += o.cfg.PageBytes {
+		if _, stall := o.Translate(p, va, now); stall > 0 {
+			majors++
+		}
+	}
+	return majors
+}
+
+// FreeRange unmaps and frees [vaddr, vaddr+bytes), returning frames to
+// their node's free list and issuing ISA-Free notifications
+// (Algorithm 2).
+func (o *OS) FreeRange(p *Process, vaddr, bytes uint64, now uint64) {
+	end := vaddr + bytes
+	for va := vaddr &^ (o.cfg.PageBytes - 1); va < end; va += o.cfg.PageBytes {
+		vpage := va / o.cfg.PageBytes
+		if vpage >= uint64(len(p.table)) {
+			continue
+		}
+		frame := p.table[vpage]
+		if frame == noFrame {
+			continue
+		}
+		p.table[vpage] = noFrame
+		p.resident--
+		o.meta[frame].proc = -1
+		node := 1
+		if uint64(frame) < o.fastFrames {
+			node = 0
+		}
+		o.free[node] = append(o.free[node], frame)
+		if o.groups != nil {
+			o.groups.release(frame, o.cfg.PageBytes)
+		}
+		o.stats.FreedPages++
+		o.notifyFree(now, frame)
+	}
+}
+
+// FreeAll releases every mapping of the process.
+func (o *OS) FreeAll(p *Process, now uint64) {
+	o.FreeRange(p, 0, uint64(len(p.table))*o.cfg.PageBytes, now)
+}
+
+// BufferCache models the OS page cache of §V-D3: the kernel grows and
+// shrinks a pool of file-cache pages over time, and those allocations
+// issue ISA-Alloc/ISA-Free exactly like application pages, so the
+// Chameleon hardware never confiscates buffer-cache space for its own
+// cache mode. It is backed by a dedicated address space.
+type BufferCache struct {
+	os    *OS
+	proc  *Process
+	bytes uint64
+}
+
+// NewBufferCache creates an empty buffer cache.
+func (o *OS) NewBufferCache() *BufferCache {
+	return &BufferCache{os: o, proc: o.NewProcess()}
+}
+
+// Bytes returns the cache's current size.
+func (b *BufferCache) Bytes() uint64 { return b.bytes }
+
+// Resize grows or shrinks the buffer cache to target bytes, mapping or
+// reclaiming pages (and issuing the corresponding ISA notifications).
+// It returns the number of major faults incurred while growing.
+func (b *BufferCache) Resize(target uint64, now uint64) (majors uint64) {
+	page := b.os.cfg.PageBytes
+	target = (target + page - 1) / page * page
+	switch {
+	case target > b.bytes:
+		majors = b.os.Map(b.proc, b.bytes, target-b.bytes, now)
+	case target < b.bytes:
+		b.os.FreeRange(b.proc, target, b.bytes-target, now)
+	}
+	b.bytes = target
+	return majors
+}

@@ -1,0 +1,423 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chameleon/internal/addr"
+	"chameleon/internal/rng"
+	"chameleon/internal/srrt"
+)
+
+// chamFixture builds a Chameleon controller over a 4-group, 3-way
+// space (segments A=way0, B=way1, C=way2 per group — the layout of the
+// paper's worked examples).
+func chamFixture(t *testing.T, opt bool) (*Chameleon, *addr.Space, *fakeMem, *fakeMem) {
+	t.Helper()
+	sp := smallSpace(t, 4, 2)
+	fast := &fakeMem{lat: 10}
+	slow := &fakeMem{lat: 50}
+	var c *Chameleon
+	var err error
+	if opt {
+		c, err = NewChameleonOpt(sp, fast, slow, 0, 1, 64, false)
+	} else {
+		c, err = NewChameleon(sp, fast, slow, 0, 1, 64, false)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, sp, fast, slow
+}
+
+// segPhys returns the home physical address of a group's way.
+func segPhys(sp *addr.Space, g addr.Group, w addr.Way) addr.Phys {
+	return sp.BaseOf(sp.SegAt(g, w))
+}
+
+func TestChameleonBootsInCacheMode(t *testing.T) {
+	c, _, _, _ := chamFixture(t, false)
+	if c.CacheModeFraction() != 1 {
+		t.Errorf("cache-mode fraction at boot = %v, want 1", c.CacheModeFraction())
+	}
+	if err := c.Table().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Figure 8, flow 1-2-4-5: ISA-Alloc of an off-chip address keeps the
+// previous mode.
+func TestBasicAllocOffChipNoTransition(t *testing.T) {
+	c, sp, _, _ := chamFixture(t, false)
+	c.ISAAlloc(0, sp.SegAt(0, 1))
+	if c.Table().ModeOf(0) != srrt.ModeCache {
+		t.Error("off-chip alloc must not end cache mode in the basic design")
+	}
+	if !c.Table().Allocated(0, 1) {
+		t.Error("ABV bit not set")
+	}
+}
+
+// Figure 9: ISA-Alloc of the stacked segment when nothing is cached
+// transitions the group to PoM mode.
+func TestBasicAllocStackedTransitionsToPoM(t *testing.T) {
+	c, sp, _, _ := chamFixture(t, false)
+	c.ISAAlloc(0, sp.SegAt(0, 0))
+	if c.Table().ModeOf(0) != srrt.ModePoM {
+		t.Error("stacked alloc must switch to PoM mode")
+	}
+	if !c.Table().Allocated(0, 0) {
+		t.Error("ABV bit not set")
+	}
+	if err := c.Table().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Figure 8, flow 1-2-3-6-8: ISA-Alloc of the stacked segment while the
+// group caches a dirty off-chip segment writes it back first.
+func TestBasicAllocStackedWritesBackDirtyCache(t *testing.T) {
+	c, sp, _, slow := chamFixture(t, false)
+	// Cache segment B (way 1) and dirty it.
+	c.ISAAlloc(0, sp.SegAt(0, 1))
+	c.Access(0, segPhys(sp, 0, 1), false)  // fill
+	c.Access(100, segPhys(sp, 0, 1), true) // dirty the cache copy
+	w0 := slow.writes
+	c.ISAAlloc(200, sp.SegAt(0, 0))
+	if slow.writes-w0 != 32 {
+		t.Errorf("dirty cache writeback wrote %d lines, want 32", slow.writes-w0)
+	}
+	if _, _, valid := c.Table().CacheTag(0); valid {
+		t.Error("cache tag must be invalidated")
+	}
+	if c.Table().ModeOf(0) != srrt.ModePoM {
+		t.Error("group must be in PoM mode")
+	}
+}
+
+// Figure 10, flow 1-2-3-7-8: freeing an unremapped stacked segment
+// switches the group to cache mode with no data movement.
+func TestBasicFreeStackedUnremapped(t *testing.T) {
+	c, sp, _, _ := chamFixture(t, false)
+	c.ISAAlloc(0, sp.SegAt(0, 0))
+	moves := c.Stats().ProactiveMoves
+	c.ISAFree(100, sp.SegAt(0, 0))
+	if c.Table().ModeOf(0) != srrt.ModeCache {
+		t.Error("free of stacked segment must enter cache mode")
+	}
+	if c.Stats().ProactiveMoves != moves {
+		t.Error("unremapped free needs no data movement")
+	}
+}
+
+// Figure 11: freeing a stacked segment that has been remapped off-chip
+// swaps it back so the stacked slot is available for caching.
+func TestBasicFreeStackedRemapped(t *testing.T) {
+	c, sp, _, _ := chamFixture(t, false)
+	// Put group 0 in PoM mode and let segment B swap into the stacked
+	// slot (threshold 1).
+	c.ISAAlloc(0, sp.SegAt(0, 0))
+	c.Access(0, segPhys(sp, 0, 1), false)
+	if c.Table().SlotOf(0, 0) == 0 {
+		t.Fatal("setup: way 0 should have been displaced")
+	}
+	swaps := c.Stats().Swaps
+	c.ISAFree(100, sp.SegAt(0, 0))
+	if c.Table().SlotOf(0, 0) != 0 {
+		t.Error("freed stacked segment must be swapped back to slot 0")
+	}
+	if c.Table().ModeOf(0) != srrt.ModeCache {
+		t.Error("group must enter cache mode")
+	}
+	if c.Stats().Swaps != swaps+1 {
+		t.Errorf("swap-back not counted (swaps %d -> %d)", swaps, c.Stats().Swaps)
+	}
+	if err := c.Table().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Figure 10, flow 1-2-4-5: freeing an off-chip segment in the basic
+// design never changes the mode.
+func TestBasicFreeOffChipNoTransition(t *testing.T) {
+	c, sp, _, _ := chamFixture(t, false)
+	c.ISAAlloc(0, sp.SegAt(0, 0)) // PoM mode
+	c.ISAAlloc(0, sp.SegAt(0, 1))
+	c.ISAFree(100, sp.SegAt(0, 1))
+	if c.Table().ModeOf(0) != srrt.ModePoM {
+		t.Error("basic design: off-chip free must not trigger a transition")
+	}
+}
+
+func TestCacheModeFillAndHit(t *testing.T) {
+	c, sp, fast, slow := chamFixture(t, false)
+	b := segPhys(sp, 0, 1)
+	res := c.Access(0, b, false)
+	if res.FastHit {
+		t.Fatal("first access must miss")
+	}
+	if c.Stats().Fills != 1 {
+		t.Fatalf("fills = %d, want 1", c.Stats().Fills)
+	}
+	// Fill streamed 32 lines: slow reads 32 (+1 demand), fast writes 32.
+	if slow.reads != 33 || fast.writes != 32 {
+		t.Errorf("fill traffic: slow reads %d, fast writes %d", slow.reads, fast.writes)
+	}
+	if res := c.Access(100, b, false); !res.FastHit {
+		t.Error("second access must hit the segment cache")
+	}
+}
+
+func TestCacheModeEvictionWritesBackDirty(t *testing.T) {
+	c, sp, _, slow := chamFixture(t, false)
+	b, cc := segPhys(sp, 0, 1), segPhys(sp, 0, 2)
+	c.Access(0, b, false)
+	c.Access(10, b, true) // dirty the cached copy of B
+	w0 := slow.writes
+	swaps := c.Stats().Swaps
+	c.Access(20, cc, false) // C evicts B
+	if slow.writes-w0 != 32 {
+		t.Errorf("dirty eviction wrote %d lines, want 32", slow.writes-w0)
+	}
+	if c.Stats().Swaps != swaps+1 {
+		t.Error("dirty evict + fill must count as a swap (paper §VI-B)")
+	}
+	if way, _, valid := c.Table().CacheTag(0); !valid || way != 2 {
+		t.Errorf("cache tag = (%d,%v), want way 2", way, valid)
+	}
+}
+
+func TestCacheModeWriteMissDoesNotFill(t *testing.T) {
+	c, sp, _, _ := chamFixture(t, false)
+	fills := c.Stats().Fills
+	c.Access(0, segPhys(sp, 0, 1), true)
+	if c.Stats().Fills != fills {
+		t.Error("write (writeback) misses must not allocate segments")
+	}
+}
+
+func TestFreeOfCachedSegmentInvalidates(t *testing.T) {
+	c, sp, _, _ := chamFixture(t, false)
+	c.ISAAlloc(0, sp.SegAt(0, 1))
+	c.Access(0, segPhys(sp, 0, 1), false)
+	if _, _, valid := c.Table().CacheTag(0); !valid {
+		t.Fatal("setup: segment not cached")
+	}
+	c.ISAFree(100, sp.SegAt(0, 1))
+	if _, _, valid := c.Table().CacheTag(0); valid {
+		t.Error("freeing the cached segment must drop the copy")
+	}
+}
+
+// Figure 13: Chameleon-Opt proactively remaps an allocated stacked
+// segment to a free off-chip slot, keeping the group in cache mode.
+func TestOptAllocStackedProactiveRemap(t *testing.T) {
+	c, sp, _, _ := chamFixture(t, true)
+	// B allocated, A and C free (the figure's starting state).
+	c.ISAAlloc(0, sp.SegAt(0, 1))
+	c.ISAAlloc(0, sp.SegAt(0, 0)) // allocate A
+	if c.Table().ModeOf(0) != srrt.ModeCache {
+		t.Error("group must stay in cache mode (free segment C remains)")
+	}
+	if got := c.Table().SlotOf(0, 0); got == 0 {
+		t.Error("A must be remapped off-chip")
+	}
+	if res := c.Table().ResidentAt(0, 0); c.Table().Allocated(0, res) {
+		t.Error("slot-0 resident must be a free segment")
+	}
+	if c.Stats().ProactiveMoves != 1 {
+		t.Errorf("proactive moves = %d, want 1", c.Stats().ProactiveMoves)
+	}
+	if err := c.Table().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Figure 12, flow ...-10-6: when the last free segment is allocated the
+// group switches to PoM mode.
+func TestOptFullGroupSwitchesToPoM(t *testing.T) {
+	c, sp, _, _ := chamFixture(t, true)
+	c.ISAAlloc(0, sp.SegAt(0, 1))
+	c.ISAAlloc(0, sp.SegAt(0, 2))
+	if c.Table().ModeOf(0) != srrt.ModeCache {
+		t.Fatal("setup: group should still cache (A free)")
+	}
+	c.ISAAlloc(0, sp.SegAt(0, 0))
+	if c.Table().ModeOf(0) != srrt.ModePoM {
+		t.Error("fully allocated group must run in PoM mode")
+	}
+	if err := c.Table().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Figure 14, flow 2-3-4-5-7: freeing an off-chip-resident segment of a
+// full group moves the stacked resident out and enters cache mode.
+// (After the allocation sequence with proactive remapping, way 2 ends
+// up in the stacked slot and ways 0/1 reside off-chip.)
+func TestOptFreeOffChipProactiveRemap(t *testing.T) {
+	c, sp, _, _ := chamFixture(t, true)
+	for w := addr.Way(0); w < 3; w++ {
+		c.ISAAlloc(0, sp.SegAt(0, w))
+	}
+	if c.Table().SlotOf(0, 1) == 0 {
+		t.Fatal("setup: way 1 expected off-chip")
+	}
+	moves := c.Stats().ProactiveMoves
+	c.ISAFree(100, sp.SegAt(0, 1))
+	if c.Table().ModeOf(0) != srrt.ModeCache {
+		t.Error("Opt must reclaim the freed off-chip space for caching")
+	}
+	if res := c.Table().ResidentAt(0, 0); c.Table().Allocated(0, res) {
+		t.Error("slot-0 resident must be free after the proactive remap")
+	}
+	if c.Stats().ProactiveMoves != moves+1 {
+		t.Error("proactive move not counted")
+	}
+	if err := c.Table().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Freeing the segment that currently resides in the stacked slot of a
+// full (PoM) group needs no data movement at all.
+func TestOptFreeStackedResident(t *testing.T) {
+	c, sp, _, _ := chamFixture(t, true)
+	for w := addr.Way(0); w < 3; w++ {
+		c.ISAAlloc(0, sp.SegAt(0, w))
+	}
+	// The proactive remaps during allocation leave way 2 in slot 0.
+	stackedWay := c.Table().ResidentAt(0, 0)
+	moves := c.Stats().ProactiveMoves
+	c.ISAFree(100, sp.SegAt(0, stackedWay))
+	if c.Table().ModeOf(0) != srrt.ModeCache {
+		t.Error("group must enter cache mode")
+	}
+	if c.Stats().ProactiveMoves != moves {
+		t.Error("freeing the stacked resident needs no movement")
+	}
+}
+
+func TestPolymorphicNeverSwapsInPoMMode(t *testing.T) {
+	sp := smallSpace(t, 4, 2)
+	c, err := NewPolymorphic(sp, &fakeMem{lat: 10}, &fakeMem{lat: 50}, 0, 64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ISAAlloc(0, sp.SegAt(0, 0)) // basic transitions: group 0 -> PoM
+	for i := 0; i < 100; i++ {
+		c.Access(uint64(i*100), segPhys(sp, 0, 1), false)
+	}
+	if c.Stats().Swaps != 0 {
+		t.Errorf("polymorphic memory must not swap, got %d", c.Stats().Swaps)
+	}
+}
+
+func TestClearingCountsAndWrites(t *testing.T) {
+	sp := smallSpace(t, 4, 2)
+	fast := &fakeMem{lat: 10}
+	slow := &fakeMem{lat: 50}
+	c, err := NewChameleon(sp, fast, slow, 0, 1, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 := fast.writes
+	c.ISAAlloc(0, sp.SegAt(0, 0)) // cache -> PoM clears the stacked slot
+	if c.Stats().ClearedSegments != 1 {
+		t.Errorf("cleared = %d, want 1", c.Stats().ClearedSegments)
+	}
+	if fast.writes-w0 != 32 {
+		t.Errorf("clear wrote %d lines, want 32", fast.writes-w0)
+	}
+}
+
+// modeMatchesFreeSpace is the co-design's central invariant:
+// basic: cache mode <=> the group's stacked segment is free;
+// opt: cache mode <=> the group has any free segment.
+func modeMatchesFreeSpace(c *Chameleon, sp *addr.Space, opt bool) bool {
+	tb := c.Table()
+	for g := addr.Group(0); uint32(g) < tb.Groups(); g++ {
+		var free bool
+		if opt {
+			_, free = tb.FreeWay(g, 0xF)
+		} else {
+			free = !tb.Allocated(g, 0)
+		}
+		if (tb.ModeOf(g) == srrt.ModeCache) != free {
+			return false
+		}
+	}
+	return true
+}
+
+// TestModeInvariantProperty drives random but OS-valid ISA/access
+// sequences and checks the structural invariants plus the mode/free
+// relationship after every operation batch.
+func TestModeInvariantProperty(t *testing.T) {
+	for _, opt := range []bool{false, true} {
+		opt := opt
+		f := func(seed uint64) bool {
+			c, sp, _, _ := chamFixture(t, opt)
+			r := rng.New(seed)
+			allocated := make(map[addr.Seg]bool)
+			segs := int(sp.FastSegs + sp.SlowSegs)
+			for i := 0; i < 300; i++ {
+				seg := addr.Seg(r.Intn(segs))
+				now := uint64(i * 50)
+				switch r.Intn(3) {
+				case 0:
+					if !allocated[seg] {
+						c.ISAAlloc(now, seg)
+						allocated[seg] = true
+					}
+				case 1:
+					if allocated[seg] {
+						c.ISAFree(now, seg)
+						delete(allocated, seg)
+					}
+				default:
+					if allocated[seg] {
+						c.Access(now, sp.BaseOf(seg), r.Intn(2) == 0)
+					}
+				}
+				if c.Table().CheckInvariants() != nil {
+					return false
+				}
+			}
+			return modeMatchesFreeSpace(c, sp, opt)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("opt=%v: %v", opt, err)
+		}
+	}
+}
+
+// TestAccessConsistencyProperty: an allocated segment written through
+// the controller is always observable (lookup resolves to exactly one
+// location) regardless of the remap/cache churn around it.
+func TestAccessConsistencyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		c, sp, _, _ := chamFixture(t, true)
+		r := rng.New(seed)
+		segs := int(sp.FastSegs + sp.SlowSegs)
+		alloc := map[addr.Seg]bool{}
+		for i := 0; i < 200; i++ {
+			seg := addr.Seg(r.Intn(segs))
+			now := uint64(i * 50)
+			if !alloc[seg] && r.Intn(2) == 0 {
+				c.ISAAlloc(now, seg)
+				alloc[seg] = true
+			}
+			if alloc[seg] {
+				res := c.Access(now, sp.BaseOf(seg), false)
+				if res.Done < now {
+					return false
+				}
+			}
+		}
+		return c.Table().CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

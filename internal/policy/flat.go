@@ -1,0 +1,60 @@
+package policy
+
+import (
+	"chameleon/internal/addr"
+)
+
+// Flat is a non-remapping memory system. With only an off-chip device
+// it models the paper's baseline_20GB/24GB DDR3 systems; with both
+// devices it models the OS-managed NUMA-flat system used by the
+// first-touch and AutoNUMA studies (addresses below the stacked
+// capacity go to the stacked DRAM, the rest to off-chip, with no
+// hardware indirection).
+type Flat struct {
+	name      string
+	fast      Mem // nil when no stacked DRAM is present
+	slow      Mem
+	fastBytes uint64 // stacked capacity (0 when absent)
+	total     uint64 // OS-visible capacity
+	stats     Stats
+}
+
+// NewFlat builds a flat memory system. fast may be nil for a
+// DDR3-only baseline; total is the OS-visible capacity in bytes.
+func NewFlat(name string, fast, slow Mem, fastBytes, total uint64) *Flat {
+	return &Flat{name: name, fast: fast, slow: slow, fastBytes: fastBytes, total: total}
+}
+
+// Name implements Controller.
+func (f *Flat) Name() string { return f.name }
+
+// OSVisibleBytes implements Controller.
+func (f *Flat) OSVisibleBytes() uint64 { return f.total }
+
+// Stats implements Controller.
+func (f *Flat) Stats() Stats { return f.stats }
+
+// ResetStats implements Controller.
+func (f *Flat) ResetStats() { f.stats = Stats{} }
+
+// Access implements Controller.
+func (f *Flat) Access(now uint64, p addr.Phys, write bool) AccessResult {
+	f.stats.Accesses++
+	var done uint64
+	fastHit := false
+	if f.fast != nil && uint64(p) < f.fastBytes {
+		done = f.fast.Access(now, uint64(p), write, 64)
+		fastHit = true
+		f.stats.FastHits++
+	} else {
+		done = f.slow.Access(now, uint64(p)-f.fastBytes, write, 64)
+	}
+	f.stats.LatencySum += done - now
+	return AccessResult{Done: done, FastHit: fastHit}
+}
+
+// ISAAlloc implements Controller; flat systems ignore the notification.
+func (f *Flat) ISAAlloc(now uint64, seg addr.Seg) { f.stats.ISAAllocs++ }
+
+// ISAFree implements Controller; flat systems ignore the notification.
+func (f *Flat) ISAFree(now uint64, seg addr.Seg) { f.stats.ISAFrees++ }

@@ -1,0 +1,247 @@
+package policy
+
+import (
+	"testing"
+
+	"chameleon/internal/addr"
+)
+
+// fakeMem is a fixed-latency Mem that records traffic, for testing the
+// controllers' decisions without DRAM timing noise.
+type fakeMem struct {
+	lat    uint64
+	reads  uint64
+	writes uint64
+	bytes  uint64
+}
+
+func (f *fakeMem) Access(now uint64, local uint64, write bool, bytes int) uint64 {
+	if write {
+		f.writes++
+	} else {
+		f.reads++
+	}
+	f.bytes += uint64(bytes)
+	return now + f.lat
+}
+
+func (f *fakeMem) Stream(now uint64, local uint64, write bool, bytes, lineBytes int) uint64 {
+	for off := 0; off < bytes; off += lineBytes {
+		f.Access(now, local+uint64(off), write, lineBytes)
+	}
+	return now + f.lat
+}
+
+// smallSpace builds a tiny address space: groups of 1 stacked + ratio
+// off-chip segments of 2 KB.
+func smallSpace(t *testing.T, groups, ratio int) *addr.Space {
+	t.Helper()
+	seg := uint64(2048)
+	sp, err := addr.NewSpace(uint64(groups)*seg, uint64(groups*ratio)*seg, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestFlatRouting(t *testing.T) {
+	fast := &fakeMem{lat: 10}
+	slow := &fakeMem{lat: 50}
+	f := NewFlat("numa", fast, slow, 4096, 16384)
+	res := f.Access(0, 100, false)
+	if !res.FastHit || res.Done != 10 {
+		t.Errorf("low address should hit fast: %+v", res)
+	}
+	res = f.Access(0, 5000, true)
+	if res.FastHit || res.Done != 50 {
+		t.Errorf("high address should go off-chip: %+v", res)
+	}
+	if fast.reads != 1 || slow.writes != 1 {
+		t.Errorf("traffic fast=%+v slow=%+v", fast, slow)
+	}
+	if f.OSVisibleBytes() != 16384 {
+		t.Errorf("capacity = %d", f.OSVisibleBytes())
+	}
+	st := f.Stats()
+	if st.Accesses != 2 || st.FastHits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.AMAT() != 30 {
+		t.Errorf("AMAT = %v, want 30", st.AMAT())
+	}
+}
+
+func TestFlatWithoutFastDevice(t *testing.T) {
+	slow := &fakeMem{lat: 50}
+	f := NewFlat("flat-20GB", nil, slow, 0, 1<<20)
+	res := f.Access(0, 0, false)
+	if res.FastHit {
+		t.Error("DDR-only baseline cannot hit fast memory")
+	}
+	if slow.reads != 1 {
+		t.Error("access did not reach the off-chip device")
+	}
+}
+
+func TestAlloyFillThenHit(t *testing.T) {
+	fast := &fakeMem{lat: 10}
+	slow := &fakeMem{lat: 50}
+	a, err := NewAlloy(fast, slow, 1<<20, 5<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := addr.Phys(2 << 20)
+	res := a.Access(0, p, false)
+	if res.FastHit {
+		t.Error("cold access should miss")
+	}
+	res = a.Access(1000, p, false)
+	if !res.FastHit {
+		t.Error("second access should hit the DRAM cache")
+	}
+	if a.Stats().Fills != 1 {
+		t.Errorf("fills = %d", a.Stats().Fills)
+	}
+}
+
+func TestAlloyDirtyVictimWriteback(t *testing.T) {
+	fast := &fakeMem{lat: 10}
+	slow := &fakeMem{lat: 50}
+	a, err := NewAlloy(fast, slow, 1<<20, 5<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := addr.Phys(0)
+	conflict := addr.Phys(1 << 20) // same set, different tag
+	a.Access(0, p, true)           // install dirty
+	w0 := slow.writes
+	a.Access(100, conflict, false) // evicts dirty p
+	if slow.writes != w0+1 {
+		t.Errorf("dirty victim not written back (writes %d -> %d)", w0, slow.writes)
+	}
+	if a.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d", a.Stats().Writebacks)
+	}
+}
+
+func TestAlloyCapacityIsOffChipOnly(t *testing.T) {
+	a, err := NewAlloy(&fakeMem{}, &fakeMem{}, 1<<20, 5<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OSVisibleBytes() != 5<<20 {
+		t.Errorf("OS-visible = %d, want off-chip only", a.OSVisibleBytes())
+	}
+}
+
+func TestAlloyRejectsBadGeometry(t *testing.T) {
+	if _, err := NewAlloy(&fakeMem{}, &fakeMem{}, 1000, 5000); err == nil {
+		t.Error("non power-of-two set count should fail")
+	}
+}
+
+func newTestPoM(t *testing.T, sp *addr.Space, threshold int) (*PoM, *fakeMem, *fakeMem) {
+	t.Helper()
+	fast := &fakeMem{lat: 10}
+	slow := &fakeMem{lat: 50}
+	p, err := NewPoM("pom", sp, fast, slow, 0, threshold, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, fast, slow
+}
+
+func TestPoMSwapAfterThreshold(t *testing.T) {
+	sp := smallSpace(t, 4, 2)
+	p, _, _ := newTestPoM(t, sp, 3)
+	// Off-chip segment: way 1 of group 0 = segment 4.
+	off := addr.Phys(uint64(sp.SegAt(0, 1)) * 2048)
+	for i := 0; i < 2; i++ {
+		if res := p.Access(uint64(i*100), off, false); res.FastHit {
+			t.Fatal("hit before swap")
+		}
+	}
+	if p.Stats().Swaps != 0 {
+		t.Fatal("swapped early")
+	}
+	p.Access(300, off, false) // third access crosses threshold
+	if p.Stats().Swaps != 1 {
+		t.Fatalf("swaps = %d, want 1", p.Stats().Swaps)
+	}
+	if res := p.Access(400, off, false); !res.FastHit {
+		t.Error("post-swap access should hit stacked DRAM")
+	}
+	// The displaced stacked segment now lives off-chip.
+	stacked := addr.Phys(0)
+	if res := p.Access(500, stacked, false); res.FastHit {
+		t.Error("displaced segment should be off-chip")
+	}
+	if err := p.Table().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoMSwapMovesBothSegments(t *testing.T) {
+	sp := smallSpace(t, 4, 2)
+	p, fast, slow := newTestPoM(t, sp, 1)
+	off := addr.Phys(uint64(sp.SegAt(0, 1)) * 2048)
+	fr, fw, sr, sw := fast.reads, fast.writes, slow.reads, slow.writes
+	p.Access(0, off, false) // threshold 1: swap immediately
+	// A full swap streams 32 lines each way on each device.
+	if fast.reads-fr != 32 || fast.writes-fw != 32 {
+		t.Errorf("fast transfer = (%d,%d), want (32,32)", fast.reads-fr, fast.writes-fw)
+	}
+	// Slow also did the demand read.
+	if slow.reads-sr != 33 || slow.writes-sw != 32 {
+		t.Errorf("slow transfer = (%d,%d), want (33,32)", slow.reads-sr, slow.writes-sw)
+	}
+	if p.Stats().SwapBytes != 4096 {
+		t.Errorf("swap bytes = %d, want 4096", p.Stats().SwapBytes)
+	}
+}
+
+func TestPoMIgnoresISA(t *testing.T) {
+	sp := smallSpace(t, 4, 2)
+	p, _, _ := newTestPoM(t, sp, 3)
+	p.ISAAlloc(0, 0)
+	p.ISAFree(0, 0)
+	if p.Table().Allocated(0, 0) {
+		t.Error("PoM must be free-space agnostic")
+	}
+	if p.Stats().ISAAllocs != 1 || p.Stats().ISAFrees != 1 {
+		t.Error("ISA instruction counts missing")
+	}
+}
+
+func TestPoMStackedHitRate(t *testing.T) {
+	sp := smallSpace(t, 4, 2)
+	p, _, _ := newTestPoM(t, sp, 100)
+	p.Access(0, addr.Phys(0), false)    // stacked
+	p.Access(0, addr.Phys(9000), false) // off-chip (seg 4)
+	if hr := p.Stats().HitRate(); hr != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", hr)
+	}
+}
+
+func TestPoMMetaCacheMissCostsAccess(t *testing.T) {
+	sp := smallSpace(t, 4, 2)
+	fast := &fakeMem{lat: 10}
+	slow := &fakeMem{lat: 50}
+	p, err := NewPoM("pom", sp, fast, slow, 2, 100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Access(0, addr.Phys(0), false)
+	// SRT miss (10) then the demand access (10) => 20.
+	if res.Done != 20 {
+		t.Errorf("cold SRT lookup latency = %d, want 20", res.Done)
+	}
+	res = p.Access(100, addr.Phys(0), false)
+	if res.Done != 110 {
+		t.Errorf("warm SRT lookup latency = %d, want 110", res.Done)
+	}
+	st := p.Stats()
+	if st.SRTMisses == 0 || st.SRTHits == 0 {
+		t.Errorf("SRT stats = %+v", st)
+	}
+}

@@ -1,0 +1,177 @@
+package policy
+
+import (
+	"testing"
+
+	"chameleon/internal/addr"
+)
+
+// congestedMem reports a fixed queue delay, for testing the
+// opportunistic-transfer gate.
+type congestedMem struct {
+	fakeMem
+	delay uint64
+}
+
+func (c *congestedMem) QueueDelay(now uint64) uint64 { return c.delay }
+
+func TestFastForwardSkipsDeviceTraffic(t *testing.T) {
+	sp := smallSpace(t, 4, 2)
+	fast := &fakeMem{lat: 10}
+	slow := &fakeMem{lat: 50}
+	c, err := NewChameleonOpt(sp, fast, slow, 0, 1, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetFastForward(true)
+	// Demand access, fill, ISA transitions: no device operations.
+	c.Access(0, segPhys(sp, 0, 1), false)
+	c.ISAAlloc(0, sp.SegAt(0, 0))
+	c.ISAFree(0, sp.SegAt(0, 0))
+	if fast.reads+fast.writes+slow.reads+slow.writes != 0 {
+		t.Errorf("fast-forward leaked device traffic: fast=%+v slow=%+v", fast, slow)
+	}
+	// State still advanced: the fill happened logically.
+	if _, _, valid := c.Table().CacheTag(0); !valid {
+		t.Error("fast-forward must still update the remap metadata")
+	}
+	c.SetFastForward(false)
+	c.Access(100, segPhys(sp, 0, 1), false)
+	if fast.reads+slow.reads == 0 {
+		t.Error("normal mode must touch the devices again")
+	}
+}
+
+func TestCongestionGateDefersSwaps(t *testing.T) {
+	sp := smallSpace(t, 4, 2)
+	fast := &congestedMem{fakeMem: fakeMem{lat: 10}, delay: 1 << 20}
+	slow := &fakeMem{lat: 50}
+	p, err := NewPoM("pom", sp, fast, slow, 0, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := addr.Phys(uint64(sp.SegAt(0, 1)) * 2048)
+	p.Access(0, off, false) // threshold 1, but the device is congested
+	if p.Stats().Swaps != 0 {
+		t.Error("swap should be deferred while the device is congested")
+	}
+	fast.delay = 0
+	p.Access(100, off, false) // retries and succeeds
+	if p.Stats().Swaps != 1 {
+		t.Errorf("swaps = %d after congestion cleared", p.Stats().Swaps)
+	}
+}
+
+func TestCongestionGateDefersCacheFills(t *testing.T) {
+	sp := smallSpace(t, 4, 2)
+	slow := &congestedMem{fakeMem: fakeMem{lat: 50}, delay: 1 << 20}
+	fast := &fakeMem{lat: 10}
+	c, err := NewChameleon(sp, fast, slow, 0, 8, 64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, segPhys(sp, 0, 1), false)
+	if c.Stats().Fills != 0 {
+		t.Error("fill should be skipped under congestion")
+	}
+	slow.delay = 0
+	c.Access(100, segPhys(sp, 0, 1), false)
+	if c.Stats().Fills != 1 {
+		t.Errorf("fills = %d after congestion cleared", c.Stats().Fills)
+	}
+}
+
+func TestBacklogThrottlesConsecutiveTransfers(t *testing.T) {
+	sp := smallSpace(t, 8, 2)
+	// Huge latency makes each segment transfer leave a long backlog.
+	fast := &fakeMem{lat: 100_000}
+	slow := &fakeMem{lat: 100_000}
+	c, err := NewChameleon(sp, fast, slow, 0, 8, 64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two immediate fills to different groups: the second must be
+	// deferred because the first transfer's completion is beyond the
+	// backlog window.
+	c.Access(0, segPhys(sp, 0, 1), false)
+	c.Access(1, segPhys(sp, 1, 1), false)
+	if got := c.Stats().Fills; got != 1 {
+		t.Errorf("fills = %d, want 1 (second deferred)", got)
+	}
+}
+
+func TestAlloyPredictorLearns(t *testing.T) {
+	fast := &fakeMem{lat: 10}
+	slow := &fakeMem{lat: 50}
+	a, err := NewAlloy(fast, slow, 1<<20, 5<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A page that always misses: the predictor should converge to
+	// predicting misses (parallel probe), keeping accuracy high.
+	for i := 0; i < 64; i++ {
+		// Distinct lines in one 4 KB page, never reused: all misses.
+		p := addr.Phys(2<<20 + uint64(i%64)<<6)
+		a.Access(uint64(i*100), p, false)
+		// Thrash the set so re-touches still miss.
+		a.Invalidate()
+	}
+	if acc := a.PredictorAccuracy(); acc < 0.8 {
+		t.Errorf("predictor accuracy = %.2f on an all-miss stream", acc)
+	}
+}
+
+// Invalidate is a test helper that wipes the Alloy tags, forcing
+// misses.
+func (a *Alloy) Invalidate() {
+	for i := range a.meta {
+		a.meta[i] = 0
+	}
+}
+
+func TestPoMCounterIsolatedPerGroup(t *testing.T) {
+	sp := smallSpace(t, 4, 2)
+	p, _, _ := newTestPoM(t, sp, 3)
+	// Accesses to group 0 must not advance group 1's counter.
+	off0 := addr.Phys(uint64(sp.SegAt(0, 1)) * 2048)
+	off1 := addr.Phys(uint64(sp.SegAt(1, 1)) * 2048)
+	p.Access(0, off0, false)
+	p.Access(0, off0, false)
+	p.Access(0, off1, false)
+	p.Access(0, off1, false)
+	if p.Stats().Swaps != 0 {
+		t.Error("no group reached its threshold")
+	}
+	p.Access(0, off0, false) // group 0 reaches 3
+	if p.Stats().Swaps != 1 {
+		t.Errorf("swaps = %d, want 1", p.Stats().Swaps)
+	}
+}
+
+func TestChameleonOSVisibleCapacity(t *testing.T) {
+	sp := smallSpace(t, 4, 2)
+	c, err := NewChameleon(sp, &fakeMem{}, &fakeMem{}, 0, 8, 64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OSVisibleBytes() != sp.TotalBytes() {
+		t.Error("Chameleon must expose the full PoM capacity")
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	sp := smallSpace(t, 4, 2)
+	c, err := NewChameleonOpt(sp, &fakeMem{lat: 1}, &fakeMem{lat: 1}, 0, 1, 64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, segPhys(sp, 0, 1), false)
+	c.ResetStats()
+	if c.Stats().Accesses != 0 || c.Stats().Fills != 0 {
+		t.Errorf("stats not cleared: %+v", c.Stats())
+	}
+	// Remap state survives the reset.
+	if _, _, valid := c.Table().CacheTag(0); !valid {
+		t.Error("reset must not drop remap state")
+	}
+}

@@ -1,0 +1,57 @@
+// Package rng provides a small, fast, deterministic pseudo-random
+// number generator (xorshift64*) used throughout the simulator so that
+// runs are reproducible across platforms and Go versions.
+package rng
+
+// RNG is a xorshift64* generator. The zero value is invalid; use New.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed (0 is remapped to a fixed
+// non-zero constant, since the all-zero state is absorbing).
+func New(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a value in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Shuffle pseudo-randomly permutes the first n elements using the
+// provided swap function (Fisher-Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"testing"
+
+	"chameleon/internal/config"
+	"chameleon/internal/policy"
+	"chameleon/internal/srrt"
+	"chameleon/internal/workload"
+)
+
+// tabled is implemented by controllers exposing their remapping table.
+type tabled interface{ Table() *srrt.Table }
+
+// TestRemapInvariantsAfterFullRuns drives every SRRT-based design
+// through a complete simulation (prefault, warm-up, measurement) and
+// validates the remapping table's structural invariants at the end.
+func TestRemapInvariantsAfterFullRuns(t *testing.T) {
+	const scale = 512
+	cfg := config.Default(scale)
+	for _, k := range []PolicyKind{PolicyPoM, PolicyPolymorphic, PolicyChameleon, PolicyChameleonOpt} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			prof, err := workload.ByName("cloverleaf")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := New(Options{
+				Config:             cfg,
+				Policy:             k,
+				Workload:           prof.Scale(scale),
+				Seed:               31,
+				WarmupInstructions: 500_000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sys.Run(100_000); err != nil {
+				t.Fatal(err)
+			}
+			tb, ok := sys.Controller().(tabled)
+			if !ok {
+				t.Fatalf("%v does not expose its table", k)
+			}
+			if err := tb.Table().CheckInvariants(); err != nil {
+				t.Errorf("invariants violated after run: %v", err)
+			}
+		})
+	}
+}
+
+// TestTrafficConservation checks cross-module accounting: the bytes
+// the DRAM devices report moving must equal demand traffic plus the
+// controller's segment transfers, clears, probes and SRT fills.
+func TestTrafficConservation(t *testing.T) {
+	const scale = 512
+	cfg := config.Default(scale)
+	cfg.MemSys.ClearOnModeSwith = false // clears are not in Ctrl.SwapBytes
+	prof, err := workload.ByName("hpccg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(Options{
+		Config:             cfg,
+		Policy:             PolicyPoM,
+		Workload:           prof.Scale(scale),
+		Seed:               13,
+		WarmupInstructions: 300_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand := res.Ctrl.Accesses * 64
+	srt := res.Ctrl.SRTMisses * 64
+	segment := res.Ctrl.SwapBytes * 2 // each byte read once and written once
+	want := demand + srt + segment
+	got := res.Fast.BytesMoved + res.Slow.BytesMoved
+	if got != want {
+		t.Errorf("device bytes %d != accounted bytes %d (demand %d, srt %d, segments %d)",
+			got, want, demand, srt, segment)
+	}
+}
+
+// TestCoreFairness: in rate mode every core runs the same program, so
+// per-core IPCs should cluster (no core starves under the min-time
+// scheduler).
+func TestCoreFairness(t *testing.T) {
+	const scale = 512
+	cfg := config.Default(scale)
+	prof, err := workload.ByName("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(Options{
+		Config:             cfg,
+		Policy:             PolicyChameleonOpt,
+		Workload:           prof.Scale(scale),
+		Seed:               17,
+		WarmupInstructions: 500_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := res.Cores[0].IPC, res.Cores[0].IPC
+	for _, c := range res.Cores {
+		if c.IPC < lo {
+			lo = c.IPC
+		}
+		if c.IPC > hi {
+			hi = c.IPC
+		}
+	}
+	if hi > lo*1.5 {
+		t.Errorf("core IPC spread too wide: [%.3f, %.3f]", lo, hi)
+	}
+}
+
+// TestWarmupImprovesHitRate: the fast-forward warm-up must leave the
+// remapping state converged — a warmed run's measured hit rate should
+// exceed a cold run's.
+func TestWarmupImprovesHitRate(t *testing.T) {
+	const scale = 512
+	run := func(warmup uint64) float64 {
+		cfg := config.Default(scale)
+		prof, err := workload.ByName("bwaves")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := New(Options{
+			Config:             cfg,
+			Policy:             PolicyPoM,
+			Workload:           prof.Scale(scale),
+			Seed:               23,
+			WarmupInstructions: warmup,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(50_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.StackedHitRate
+	}
+	cold := run(0)
+	warm := run(2_000_000)
+	t.Logf("cold hit %.3f, warm hit %.3f", cold, warm)
+	if warm <= cold {
+		t.Errorf("warm-up should converge the hot set: %.3f <= %.3f", warm, cold)
+	}
+}
+
+// TestModeDistributionInterface: only the Chameleon designs advertise a
+// mode distribution.
+func TestModeDistributionInterface(t *testing.T) {
+	const scale = 512
+	cfg := config.Default(scale)
+	prof, _ := workload.ByName("miniFE")
+	for _, k := range []PolicyKind{PolicyPoM, PolicyChameleon} {
+		opts := Options{Config: cfg, Policy: k, Workload: prof.Scale(scale), Seed: 1}
+		sys, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, isMD := sys.Controller().(policy.ModeDistribution)
+		if k == PolicyChameleon && !isMD {
+			t.Error("chameleon must expose its mode distribution")
+		}
+		if k == PolicyPoM && isMD {
+			t.Error("pom has no modes to expose")
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"chameleon/internal/addr"
+	"chameleon/internal/cache"
+	"chameleon/internal/dram"
+	"chameleon/internal/osmodel"
+	"chameleon/internal/policy"
+)
+
+// CoreResult summarises one core's execution.
+type CoreResult struct {
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+	LLCMisses    uint64
+	MPKI         float64
+	FaultCycles  uint64
+}
+
+// Result summarises a simulation run.
+type Result struct {
+	Policy   string
+	Workload string
+	Cores    []CoreResult
+
+	GeoMeanIPC     float64
+	StackedHitRate float64
+	AMAT           float64
+	// CacheModeFraction is the share of segment groups in cache mode
+	// at the end of the run (Chameleon designs only, else 0).
+	CacheModeFraction float64
+	// CPUUtilization is 1 - (page-fault stall share of total cycles).
+	CPUUtilization float64
+	MaxCycles      uint64
+
+	Ctrl policy.Stats
+	OS   osmodel.Stats
+	Fast dram.Stats
+	Slow dram.Stats
+	L3   cache.Stats
+
+	NUMATimeline []osmodel.EpochRecord
+	// Timeline is populated when Options.TimelineEpochCycles is set.
+	Timeline []TimelinePoint
+}
+
+// Run executes instrPerCore instructions on every core and returns the
+// aggregated results. It may be called once per System.
+func (s *System) Run(instrPerCore uint64) (*Result, error) {
+	if instrPerCore == 0 {
+		return nil, fmt.Errorf("sim: instruction budget must be positive")
+	}
+	if !s.opts.SkipPrefault {
+		s.prefault()
+		if s.auto != nil {
+			// The init sweep is not application heat.
+			s.auto.ResetWindow()
+		}
+	}
+	if s.opts.WarmupInstructions > 0 {
+		// Warm caches, remapping tables, hot-segment counters and OS
+		// state without consuming simulated DRAM bandwidth.
+		if ff, ok := s.ctrl.(fastForwarder); ok {
+			ff.SetFastForward(true)
+		}
+		s.execute(s.opts.WarmupInstructions)
+		if ff, ok := s.ctrl.(fastForwarder); ok {
+			ff.SetFastForward(false)
+		}
+		s.resetStats()
+	}
+	// Phase barrier: align core clocks so that cores frozen at the end
+	// of warm-up (they hit their instruction budget early) do not see
+	// artificially congested devices left behind by slower cores.
+	var t0 uint64
+	for _, c := range s.cores {
+		t0 = max(t0, c.time)
+	}
+	start := make([]uint64, len(s.cores))
+	instr0 := make([]uint64, len(s.cores))
+	faults0 := make([]uint64, len(s.cores))
+	for i, c := range s.cores {
+		c.time = t0
+		start[i] = c.time
+		instr0[i] = c.instr
+		faults0[i] = c.faultCycles
+	}
+	if s.opts.TimelineEpochCycles > 0 {
+		s.nextEpoch = t0 + s.opts.TimelineEpochCycles
+	}
+	s.execute(instrPerCore)
+	return s.collect(start, instr0, faults0), nil
+}
+
+// sampleTimeline records a TimelinePoint when the given time crosses
+// the next epoch boundary.
+func (s *System) sampleTimeline(now uint64) {
+	if s.nextEpoch == 0 || now < s.nextEpoch {
+		return
+	}
+	p := TimelinePoint{Cycle: now, StackedHitRate: s.ctrl.Stats().HitRate()}
+	if md, ok := s.ctrl.(policy.ModeDistribution); ok {
+		p.CacheModeFraction = md.CacheModeFraction()
+	}
+	s.timeline = append(s.timeline, p)
+	for s.nextEpoch <= now {
+		s.nextEpoch += s.opts.TimelineEpochCycles
+	}
+}
+
+// fastForwarder is implemented by controllers that can warm their
+// metadata without consuming simulated DRAM bandwidth.
+type fastForwarder interface{ SetFastForward(bool) }
+
+// prefault maps every process's footprint up front (the paper
+// fast-forwards to the region of interest with memory resident).
+// Processes are interleaved in chunks so their pages mix in physical
+// memory, as they would after a real ramp-up.
+func (s *System) prefault() {
+	if ff, ok := s.ctrl.(fastForwarder); ok {
+		ff.SetFastForward(true)
+		defer ff.SetFastForward(false)
+	}
+	const chunk = 1 << 20
+	var maxFootprint uint64
+	for _, c := range s.cores {
+		maxFootprint = max(maxFootprint, c.stream.Profile().FootprintBytes)
+	}
+	for off := uint64(0); off < maxFootprint; off += chunk {
+		for _, c := range s.cores {
+			fp := c.stream.Profile().FootprintBytes
+			if off >= fp {
+				continue
+			}
+			s.os.Map(c.proc, off, min(chunk, fp-off), c.time)
+		}
+	}
+}
+
+func (s *System) resetStats() {
+	s.ctrl.ResetStats()
+	s.fast.ResetStats()
+	s.slow.ResetStats()
+	s.l3.ResetStats()
+	s.os.ResetStats()
+	for _, c := range s.cores {
+		c.l1.ResetStats()
+		c.l2.ResetStats()
+		c.llcMisses = 0
+		c.faultCycles = 0
+		c.memStall = 0
+	}
+}
+
+// execute runs every core for budget further instructions.
+func (s *System) execute(budget uint64) {
+	for _, c := range s.cores {
+		c.budget = c.instr + budget
+		c.done = false
+	}
+	for {
+		// Advance the core with the smallest local clock.
+		var next *core
+		for _, c := range s.cores {
+			if c.done {
+				continue
+			}
+			if next == nil || c.time < next.time {
+				next = c
+			}
+		}
+		if next == nil {
+			return
+		}
+		s.step(next)
+		if next.instr >= next.budget {
+			next.done = true
+		}
+	}
+}
+
+// step executes one reference on core c: the instruction gap, address
+// translation (with demand paging), the cache hierarchy and, on an LLC
+// miss, the memory system.
+func (s *System) step(c *core) {
+	s.phaseChurn(c)
+	var p uint64
+	var write bool
+	if c.pendingValid {
+		// Replay the reference that faulted last time, now that the
+		// core has been rescheduled in global time order.
+		p, write = c.pendingPhys, c.pendingWrite
+		c.pendingValid = false
+	} else {
+		ref := c.stream.Next()
+		c.instr += ref.Gap
+		c.time += ref.Gap * s.baseCPIx1000 / 1000
+
+		phys, stall := s.os.Translate(c.proc, ref.VAddr, c.time)
+		if s.auto != nil {
+			s.auto.Tick(c.time)
+		}
+		s.sampleTimeline(c.time)
+		if stall > 0 {
+			c.time += stall
+			c.faultCycles += stall
+			c.pendingValid = true
+			c.pendingPhys = uint64(phys)
+			c.pendingWrite = ref.Write
+			return
+		}
+		p, write = uint64(phys), ref.Write
+	}
+	if hit, v, hv := c.l1.Access(p, write); hit {
+		return
+	} else if hv && v.Dirty {
+		s.writeback(c, v.Addr, 1)
+	}
+	c.time += s.cfg.CPU.L2Latency
+	if hit, v, hv := c.l2.Access(p, false); hit {
+		return
+	} else if hv && v.Dirty {
+		s.writeback(c, v.Addr, 2)
+	}
+	c.time += s.cfg.CPU.L3Latency - s.cfg.CPU.L2Latency
+	if hit, v, hv := s.l3.Access(p, false); hit {
+		return
+	} else if hv && v.Dirty {
+		s.ctrl.Access(c.time, addr.Phys(v.Addr), true)
+	}
+
+	c.llcMisses++
+	res := s.ctrl.Access(c.time, addr.Phys(p), false)
+	lat := res.Done - c.time
+	// An out-of-order core overlaps up to MaxMLP misses; the effective
+	// stall per miss is the latency divided by the attainable overlap.
+	stallCycles := lat / uint64(s.cfg.CPU.MaxMLP)
+	c.time += stallCycles
+	c.memStall += stallCycles
+}
+
+// phaseChurn models §III-B's time-varying memory demand: at each phase
+// boundary the core alternately maps and frees a transient buffer just
+// past its footprint, issuing ISA-Alloc/ISA-Free through the OS and
+// letting Chameleon's segment groups switch modes mid-run.
+func (s *System) phaseChurn(c *core) {
+	if s.opts.PhaseEveryInstructions == 0 || s.opts.PhaseAllocBytes == 0 {
+		return
+	}
+	if c.phaseNext == 0 {
+		c.phaseNext = c.instr + s.opts.PhaseEveryInstructions
+		return
+	}
+	if c.instr < c.phaseNext {
+		return
+	}
+	c.phaseNext += s.opts.PhaseEveryInstructions
+	base := c.stream.Profile().FootprintBytes
+	if c.phaseHeld {
+		s.os.FreeRange(c.proc, base, s.opts.PhaseAllocBytes, c.time)
+	} else {
+		s.os.Map(c.proc, base, s.opts.PhaseAllocBytes, c.time)
+	}
+	c.phaseHeld = !c.phaseHeld
+}
+
+// writeback propagates a dirty victim from level into the next level
+// down, cascading victims until they die out or reach memory.
+func (s *System) writeback(c *core, a uint64, level int) {
+	switch level {
+	case 1:
+		if hit, v, hv := c.l2.Access(a, true); !hit && hv && v.Dirty {
+			s.writeback(c, v.Addr, 2)
+		}
+	case 2:
+		if hit, v, hv := s.l3.Access(a, true); !hit && hv && v.Dirty {
+			s.ctrl.Access(c.time, addr.Phys(v.Addr), true)
+		}
+	}
+}
+
+func (s *System) collect(start, instr0, faults0 []uint64) *Result {
+	r := &Result{
+		Policy:   s.ctrl.Name(),
+		Workload: s.opts.Workload.Name,
+		Ctrl:     s.ctrl.Stats(),
+		OS:       s.os.Stats(),
+		Fast:     s.fast.Stats(),
+		Slow:     s.slow.Stats(),
+		L3:       s.l3.Stats(),
+	}
+	logSum := 0.0
+	var faultCycles, totalCycles uint64
+	for i, c := range s.cores {
+		instr := c.instr - instr0[i]
+		cycles := c.time - start[i]
+		cr := CoreResult{
+			Instructions: instr,
+			Cycles:       cycles,
+			LLCMisses:    c.llcMisses,
+			FaultCycles:  c.faultCycles - faults0[i],
+		}
+		if cycles > 0 {
+			cr.IPC = float64(instr) / float64(cycles)
+		}
+		if instr > 0 {
+			cr.MPKI = float64(c.llcMisses) / (float64(instr) / 1000)
+		}
+		r.Cores = append(r.Cores, cr)
+		if cr.IPC > 0 {
+			logSum += math.Log(cr.IPC)
+		}
+		faultCycles += cr.FaultCycles
+		totalCycles += cycles
+		if c.time > r.MaxCycles {
+			r.MaxCycles = c.time
+		}
+	}
+	if n := len(r.Cores); n > 0 {
+		r.GeoMeanIPC = math.Exp(logSum / float64(n))
+	}
+	r.StackedHitRate = r.Ctrl.HitRate()
+	r.AMAT = r.Ctrl.AMAT()
+	if md, ok := s.ctrl.(policy.ModeDistribution); ok {
+		r.CacheModeFraction = md.CacheModeFraction()
+	}
+	if totalCycles > 0 {
+		r.CPUUtilization = 1 - float64(faultCycles)/float64(totalCycles)
+	}
+	if s.auto != nil {
+		r.NUMATimeline = s.auto.Timeline()
+	}
+	r.Timeline = s.timeline
+	return r
+}

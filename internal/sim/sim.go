@@ -1,0 +1,370 @@
+// Package sim is the discrete-event timing simulator that ties the
+// substrates together: synthetic cores drive reference streams through
+// a three-level cache hierarchy and the configured heterogeneous
+// memory-system controller, with OS demand paging (and optional
+// AutoNUMA migration) in the translation path.
+//
+// The engine advances the core with the smallest local clock one
+// reference at a time, which keeps memory-system arrivals near time order
+// while avoiding a full event queue.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"chameleon/internal/addr"
+	"chameleon/internal/cache"
+	"chameleon/internal/config"
+	"chameleon/internal/dram"
+	"chameleon/internal/osmodel"
+	"chameleon/internal/policy"
+	"chameleon/internal/trace"
+)
+
+// PolicyKind selects the memory-system design under test.
+type PolicyKind int
+
+// The memory-system designs of the paper's evaluation.
+const (
+	PolicyFlat         PolicyKind = iota // DDR-only baseline (BaselineBytes capacity)
+	PolicyNUMAFlat                       // OS-managed heterogeneous memory
+	PolicyAlloy                          // latency-optimised DRAM cache
+	PolicyPoM                            // hardware-managed part of memory
+	PolicyCAMEO                          // 64 B congruence-group PoM variant
+	PolicyPolymorphic                    // Chung et al. polymorphic memory
+	PolicyChameleon                      // basic co-design
+	PolicyChameleonOpt                   // proactive-remapping co-design
+)
+
+var policyNames = map[PolicyKind]string{
+	PolicyFlat:         "flat",
+	PolicyNUMAFlat:     "numa-flat",
+	PolicyAlloy:        "alloy",
+	PolicyPoM:          "pom",
+	PolicyCAMEO:        "cameo",
+	PolicyPolymorphic:  "polymorphic",
+	PolicyChameleon:    "chameleon",
+	PolicyChameleonOpt: "chameleon-opt",
+}
+
+func (k PolicyKind) String() string {
+	if n, ok := policyNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("PolicyKind(%d)", int(k))
+}
+
+// Options configures one simulation.
+type Options struct {
+	Config   config.Config
+	Policy   PolicyKind
+	Workload trace.Profile
+	// Copies is the number of application instances (default: one per
+	// core, the paper's rate mode).
+	Copies int
+	// BaselineBytes is the total capacity of a PolicyFlat system (e.g.
+	// 20 GB or 24 GB). Ignored for other policies.
+	BaselineBytes uint64
+	// Alloc overrides the OS frame-allocation policy. Default:
+	// first-touch for PolicyNUMAFlat, shuffled otherwise.
+	Alloc *osmodel.AllocPolicy
+	// AutoNUMA attaches the migration engine (PolicyNUMAFlat only).
+	AutoNUMA *osmodel.AutoNUMAConfig
+	// Prefault eagerly maps every process's footprint before the
+	// measured run, modelling the paper's fast-forward to the region
+	// of interest. Default true (set SkipPrefault to disable).
+	SkipPrefault bool
+	// WarmupInstructions are executed per core before statistics are
+	// reset, warming caches and remapping state.
+	WarmupInstructions uint64
+	// UseTHP backs processes with 2 MB transparent huge pages instead
+	// of 4 KB pages (Algorithm 1's GFP_TRANSHUGE path: one page
+	// allocation issues SegBytes-granularity ISA notifications for the
+	// whole huge page).
+	UseTHP bool
+	// Mix assigns per-core workloads (core i runs Mix[i mod len]),
+	// modelling a consolidated multi-programmed machine instead of the
+	// paper's rate mode. When set, Workload is ignored except as a
+	// fallback for validation.
+	Mix []trace.Profile
+	// TimelineEpochCycles, when non-zero, records a TimelinePoint every
+	// epoch of simulated time (mode distribution and cumulative hit
+	// rate over the measured run).
+	TimelineEpochCycles uint64
+	// PhaseAllocBytes / PhaseEveryInstructions model the allocation
+	// churn of §III-B: every PhaseEveryInstructions instructions each
+	// core alternately allocates and frees a PhaseAllocBytes transient
+	// buffer, driving ISA-Alloc/ISA-Free (and Chameleon mode
+	// transitions) during the measured run.
+	PhaseAllocBytes        uint64
+	PhaseEveryInstructions uint64
+	// Seed makes the run deterministic.
+	Seed uint64
+}
+
+type core struct {
+	id     int
+	stream *trace.Stream
+	proc   *osmodel.Process
+	l1     *cache.Cache
+	l2     *cache.Cache
+
+	time        uint64
+	instr       uint64
+	budget      uint64
+	done        bool
+	llcMisses   uint64
+	faultCycles uint64
+	memStall    uint64
+
+	// A page-fault stall advances this core's clock far beyond its
+	// peers; the faulting reference is parked here and replayed when
+	// the core is next scheduled in time order, so its access does not
+	// reserve device queues deep in the simulated future.
+	pendingValid bool
+	pendingPhys  uint64
+	pendingWrite bool
+
+	// Allocation-churn phase state (Options.PhaseAllocBytes).
+	phaseNext uint64 // instruction count of the next phase boundary
+	phaseHeld bool   // transient buffer currently allocated
+}
+
+// System is one fully constructed simulation.
+type System struct {
+	opts  Options
+	cfg   config.Config
+	fast  *dram.Device
+	slow  *dram.Device
+	ctrl  policy.Controller
+	os    *osmodel.OS
+	auto  *osmodel.AutoNUMA
+	l3    *cache.Cache
+	cores []*core
+
+	baseCPIx1000 uint64
+
+	nextEpoch uint64
+	timeline  []TimelinePoint
+}
+
+// TimelinePoint is one sample of the optional run timeline.
+type TimelinePoint struct {
+	Cycle             uint64
+	StackedHitRate    float64 // cumulative over the measured run
+	CacheModeFraction float64
+}
+
+// New constructs a simulation from the options.
+func New(opts Options) (*System, error) {
+	cfg := opts.Config
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Workload.Validate(); err != nil {
+		return nil, err
+	}
+	copies := opts.Copies
+	if copies <= 0 {
+		copies = cfg.CPU.Cores
+	}
+	if len(opts.Mix) > 0 {
+		copies = min(max(copies, len(opts.Mix)), cfg.CPU.Cores)
+		opts.Workload = opts.Mix[0]
+		for _, p := range opts.Mix {
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if copies > cfg.CPU.Cores {
+		return nil, fmt.Errorf("sim: %d copies exceed %d cores", copies, cfg.CPU.Cores)
+	}
+
+	s := &System{opts: opts, cfg: cfg,
+		baseCPIx1000: uint64(math.Round(cfg.CPU.BaseCPI * 1000))}
+
+	var err error
+	fastCfg := cfg.Fast
+	slowCfg := cfg.Slow
+	if opts.Policy == PolicyFlat {
+		if opts.BaselineBytes == 0 {
+			return nil, fmt.Errorf("sim: PolicyFlat requires BaselineBytes")
+		}
+		slowCfg.CapacityBytes = opts.BaselineBytes
+	}
+	if s.fast, err = dram.New(fastCfg, cfg.CPU.FreqHz); err != nil {
+		return nil, err
+	}
+	if s.slow, err = dram.New(slowCfg, cfg.CPU.FreqHz); err != nil {
+		return nil, err
+	}
+	if s.ctrl, err = s.buildController(); err != nil {
+		return nil, err
+	}
+
+	// OS over the controller's visible space. Hardware-managed designs
+	// appear to the OS as a single node; NUMA-flat exposes two.
+	pageBytes := uint64(cfg.OS.PageBytes)
+	if opts.UseTHP {
+		pageBytes = uint64(cfg.OS.HugePageBytes)
+	}
+	osCfg := osmodel.Config{
+		TotalBytes:      s.ctrl.OSVisibleBytes(),
+		PageBytes:       pageBytes,
+		SegBytes:        s.isaSegBytes(),
+		PageFaultCycles: cfg.OS.PageFaultCycles,
+		Alloc:           osmodel.AllocShuffled,
+		Seed:            opts.Seed + 1,
+	}
+	if opts.Policy == PolicyNUMAFlat {
+		osCfg.FastBytes = cfg.Fast.CapacityBytes
+		osCfg.Alloc = osmodel.AllocFirstTouch
+		if opts.AutoNUMA != nil {
+			// See osmodel.AllocSlowFirst: the stacked node must retain
+			// free frames for the migration race of Figure 2c.
+			osCfg.Alloc = osmodel.AllocSlowFirst
+		}
+	}
+	if opts.Alloc != nil {
+		osCfg.Alloc = *opts.Alloc
+	}
+	if osCfg.Alloc == osmodel.AllocGroupAware {
+		sp, err := addr.NewSpace(cfg.Fast.CapacityBytes, cfg.Slow.CapacityBytes, uint64(cfg.MemSys.SegmentBytes))
+		if err != nil {
+			return nil, err
+		}
+		osCfg.Space = sp
+	}
+	var notifier osmodel.Notifier
+	if osCfg.SegBytes != 0 {
+		notifier = isaAdapter{s.ctrl}
+	}
+	if s.os, err = osmodel.New(osCfg, notifier); err != nil {
+		return nil, err
+	}
+	if opts.AutoNUMA != nil {
+		if opts.Policy != PolicyNUMAFlat {
+			return nil, fmt.Errorf("sim: AutoNUMA requires PolicyNUMAFlat")
+		}
+		s.auto = s.os.EnableAutoNUMA(*opts.AutoNUMA)
+	}
+
+	if s.l3, err = cache.New("L3", cfg.L3.SizeBytes, cfg.L3.Ways, cfg.L3.LineBytes); err != nil {
+		return nil, err
+	}
+	footprint := opts.Workload.FootprintBytes
+	perProc := footprint
+	if uint64(copies)*perProc > osCfg.TotalBytes*4 {
+		return nil, fmt.Errorf("sim: footprint %d x%d implausibly exceeds capacity %d", perProc, copies, osCfg.TotalBytes)
+	}
+	for i := 0; i < copies; i++ {
+		prof := opts.Workload
+		if len(opts.Mix) > 0 {
+			prof = opts.Mix[i%len(opts.Mix)]
+		}
+		st, err := trace.NewStream(prof, opts.Seed+uint64(i)*7919+13)
+		if err != nil {
+			return nil, err
+		}
+		l1, err := cache.New("L1", cfg.L1.SizeBytes, cfg.L1.Ways, cfg.L1.LineBytes)
+		if err != nil {
+			return nil, err
+		}
+		l2, err := cache.New("L2", cfg.L2.SizeBytes, cfg.L2.Ways, cfg.L2.LineBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, &core{
+			id: i, stream: st, proc: s.os.NewProcess(), l1: l1, l2: l2,
+		})
+	}
+	return s, nil
+}
+
+// isaSegBytes returns the segment granularity for ISA notifications
+// (0 when the design does not consume them).
+func (s *System) isaSegBytes() uint64 {
+	switch s.opts.Policy {
+	case PolicyChameleon, PolicyChameleonOpt, PolicyPolymorphic:
+		return uint64(s.cfg.MemSys.SegmentBytes)
+	default:
+		return 0
+	}
+}
+
+func (s *System) buildController() (policy.Controller, error) {
+	cfg := s.cfg
+	ms := cfg.MemSys
+	newSpace := func(segBytes uint64) (*addr.Space, error) {
+		return addr.NewSpace(cfg.Fast.CapacityBytes, cfg.Slow.CapacityBytes, segBytes)
+	}
+	switch s.opts.Policy {
+	case PolicyFlat:
+		name := fmt.Sprintf("flat-%dGB", s.opts.BaselineBytes/config.GB*cfg.Scale)
+		return policy.NewFlat(name, nil, s.slow, 0, s.opts.BaselineBytes), nil
+	case PolicyNUMAFlat:
+		total := cfg.Fast.CapacityBytes + cfg.Slow.CapacityBytes
+		return policy.NewFlat("numa-flat", s.fast, s.slow, cfg.Fast.CapacityBytes, total), nil
+	case PolicyAlloy:
+		return policy.NewAlloy(s.fast, s.slow, cfg.Fast.CapacityBytes, cfg.Slow.CapacityBytes)
+	case PolicyPoM:
+		sp, err := newSpace(uint64(ms.SegmentBytes))
+		if err != nil {
+			return nil, err
+		}
+		return policy.NewPoM("pom", sp, s.fast, s.slow, ms.SRTCacheEntries, ms.SwapThreshold, ms.CacheLineBytes)
+	case PolicyCAMEO:
+		sp, err := newSpace(uint64(ms.CacheLineBytes))
+		if err != nil {
+			return nil, err
+		}
+		return policy.NewPoM("cameo", sp, s.fast, s.slow, ms.SRTCacheEntries, 1, ms.CacheLineBytes)
+	case PolicyPolymorphic:
+		sp, err := newSpace(uint64(ms.SegmentBytes))
+		if err != nil {
+			return nil, err
+		}
+		return policy.NewPolymorphic(sp, s.fast, s.slow, ms.SRTCacheEntries, ms.CacheLineBytes, ms.ClearOnModeSwith)
+	case PolicyChameleon:
+		sp, err := newSpace(uint64(ms.SegmentBytes))
+		if err != nil {
+			return nil, err
+		}
+		return policy.NewChameleon(sp, s.fast, s.slow, ms.SRTCacheEntries, ms.SwapThreshold, ms.CacheLineBytes, ms.ClearOnModeSwith)
+	case PolicyChameleonOpt:
+		sp, err := newSpace(uint64(ms.SegmentBytes))
+		if err != nil {
+			return nil, err
+		}
+		return policy.NewChameleonOpt(sp, s.fast, s.slow, ms.SRTCacheEntries, ms.SwapThreshold, ms.CacheLineBytes, ms.ClearOnModeSwith)
+	}
+	return nil, fmt.Errorf("sim: unknown policy %v", s.opts.Policy)
+}
+
+// isaAdapter forwards OS notifications to the controller.
+type isaAdapter struct{ c policy.Controller }
+
+func (a isaAdapter) ISAAlloc(now uint64, seg addr.Seg) { a.c.ISAAlloc(now, seg) }
+func (a isaAdapter) ISAFree(now uint64, seg addr.Seg)  { a.c.ISAFree(now, seg) }
+
+// Controller exposes the memory-system controller (for tests).
+func (s *System) Controller() policy.Controller { return s.ctrl }
+
+// DeviceEnergy estimates both DRAM devices' energy over the given
+// number of elapsed CPU cycles using the default HBM/DDR power
+// parameters.
+func (s *System) DeviceEnergy(elapsedCycles uint64) (fast, slow dram.EnergyReport) {
+	return s.fast.Energy(dram.DefaultStackedPower(), elapsedCycles),
+		s.slow.Energy(dram.DefaultOffChipPower(), elapsedCycles)
+}
+
+// DeviceUtilisation returns the fraction of peak bandwidth each device
+// sustained over the given elapsed cycles.
+func (s *System) DeviceUtilisation(elapsedCycles uint64) (fast, slow float64) {
+	return s.fast.BusyFraction(elapsedCycles), s.slow.BusyFraction(elapsedCycles)
+}
+
+// OS exposes the operating-system model (for tests and experiments).
+func (s *System) OS() *osmodel.OS { return s.os }

@@ -1,0 +1,313 @@
+// Package srrt implements the Segment-Restricted Remapping Table used
+// by PoM-style heterogeneous memory controllers (Sim et al. [25]) and
+// its Chameleon augmentation (Figure 7 of the paper): per segment group
+// it tracks the remapping permutation (tag bits), the shared MEA-style
+// swap counter, the Alloc Bit Vector (ABV), the mode bit (PoM vs cache)
+// and the dirty bit for the cached segment.
+//
+// Within a group, segments are identified by their home way: way 0 is
+// the group's stacked-DRAM segment, ways 1..R are its off-chip
+// segments. The table stores, for each physical slot, which logical way
+// currently resides there ("perm"). In PoM mode perm is a permutation
+// of the group's ways. In cache mode perm remains the authoritative
+// residency map and a separate cache tag records which off-chip way is
+// duplicated in the stacked slot (slot 0).
+package srrt
+
+import (
+	"fmt"
+
+	"chameleon/internal/addr"
+)
+
+// Mode is a segment group's operating mode.
+type Mode uint8
+
+// Segment-group operating modes.
+const (
+	ModePoM Mode = iota
+	ModeCache
+)
+
+func (m Mode) String() string {
+	if m == ModeCache {
+		return "cache"
+	}
+	return "pom"
+}
+
+const (
+	flagCacheMode = 1 << iota
+	flagDirty
+	flagCacheValid
+)
+
+// noCandidate marks an idle MEA counter.
+const noCandidate = 0xFF
+
+// entry is the packed per-group SRRT state (8 bytes per group).
+type entry struct {
+	perm      uint32 // 4 bits per slot: logical way resident in that slot
+	abv       uint8  // bit w set = logical way w is OS-allocated
+	counter   uint8  // shared competing counter (MEA)
+	candidate uint8  // logical way the counter currently tracks
+	flags     uint8
+	cacheWay  uint8 // logical way duplicated in slot 0 when cacheValid
+}
+
+func (e *entry) slotOf(way addr.Way) addr.Way {
+	for s := 0; s < 8; s++ {
+		if addr.Way(e.perm>>(4*s)&0xF) == way {
+			return addr.Way(s)
+		}
+	}
+	panic("srrt: way not found in permutation")
+}
+
+func (e *entry) residentAt(slot addr.Way) addr.Way {
+	return addr.Way(e.perm >> (4 * slot) & 0xF)
+}
+
+func (e *entry) setResident(slot, way addr.Way) {
+	shift := 4 * uint32(slot)
+	e.perm = e.perm&^(0xF<<shift) | uint32(way)<<shift
+}
+
+// Table is the full SRRT for an address space.
+type Table struct {
+	space   *addr.Space
+	ways    int
+	entries []entry
+}
+
+// New builds an identity-mapped table for the given address space. All
+// groups start in PoM mode with empty ABVs (nothing allocated), which
+// is the paper's post-boot state.
+func New(space *addr.Space) (*Table, error) {
+	w := space.Ways()
+	if w > 8 {
+		return nil, fmt.Errorf("srrt: at most 8 ways per group supported, got %d", w)
+	}
+	t := &Table{space: space, ways: w, entries: make([]entry, space.Groups())}
+	var ident uint32
+	for s := 0; s < w; s++ {
+		ident |= uint32(s) << (4 * s)
+	}
+	for i := range t.entries {
+		t.entries[i] = entry{perm: ident, candidate: noCandidate}
+	}
+	return t, nil
+}
+
+// Space returns the address space the table was built for.
+func (t *Table) Space() *addr.Space { return t.space }
+
+// Ways returns the number of segments per group.
+func (t *Table) Ways() int { return t.ways }
+
+// Groups returns the number of segment groups.
+func (t *Table) Groups() uint32 { return uint32(len(t.entries)) }
+
+// --- residency and lookup ---------------------------------------------
+
+// Location describes where an access to a logical segment is serviced.
+type Location struct {
+	Slot     addr.Way // physical slot within the group
+	CacheHit bool     // serviced from the slot-0 cache copy
+}
+
+// Lookup resolves the physical slot that services an access to the
+// given logical way of group g. In cache mode a valid cache copy in
+// slot 0 takes precedence over the authoritative off-chip copy.
+func (t *Table) Lookup(g addr.Group, way addr.Way) Location {
+	e := &t.entries[g]
+	if e.flags&flagCacheValid != 0 && addr.Way(e.cacheWay) == way {
+		return Location{Slot: 0, CacheHit: true}
+	}
+	return Location{Slot: e.slotOf(way)}
+}
+
+// SlotOf returns the slot where the logical way's authoritative copy
+// resides.
+func (t *Table) SlotOf(g addr.Group, way addr.Way) addr.Way {
+	return t.entries[g].slotOf(way)
+}
+
+// ResidentAt returns the logical way whose authoritative copy resides
+// in the given slot.
+func (t *Table) ResidentAt(g addr.Group, slot addr.Way) addr.Way {
+	return t.entries[g].residentAt(slot)
+}
+
+// SwapSlots exchanges the residents of two physical slots (the caller
+// models the corresponding data movement).
+func (t *Table) SwapSlots(g addr.Group, a, b addr.Way) {
+	e := &t.entries[g]
+	wa, wb := e.residentAt(a), e.residentAt(b)
+	e.setResident(a, wb)
+	e.setResident(b, wa)
+}
+
+// --- mode / ABV / dirty -------------------------------------------------
+
+// ModeOf returns the group's operating mode.
+func (t *Table) ModeOf(g addr.Group) Mode {
+	if t.entries[g].flags&flagCacheMode != 0 {
+		return ModeCache
+	}
+	return ModePoM
+}
+
+// SetMode switches the group's mode bit. Switching to PoM mode drops
+// the cache tag (the caller must have written back dirty data first).
+func (t *Table) SetMode(g addr.Group, m Mode) {
+	e := &t.entries[g]
+	if m == ModeCache {
+		e.flags |= flagCacheMode
+	} else {
+		e.flags &^= flagCacheMode | flagCacheValid | flagDirty
+	}
+}
+
+// Allocated reports the ABV bit of a logical way.
+func (t *Table) Allocated(g addr.Group, way addr.Way) bool {
+	return t.entries[g].abv&(1<<way) != 0
+}
+
+// SetAllocated updates the ABV bit of a logical way.
+func (t *Table) SetAllocated(g addr.Group, way addr.Way, v bool) {
+	if v {
+		t.entries[g].abv |= 1 << way
+	} else {
+		t.entries[g].abv &^= 1 << way
+	}
+}
+
+// AllAllocated reports whether every way in the group is allocated.
+func (t *Table) AllAllocated(g addr.Group) bool {
+	return t.entries[g].abv == uint8(1<<t.ways)-1
+}
+
+// FreeWay returns some unallocated logical way of the group and whether
+// one exists, preferring ways other than skip (pass an out-of-range way
+// such as 0xF to consider all).
+func (t *Table) FreeWay(g addr.Group, skip addr.Way) (addr.Way, bool) {
+	e := &t.entries[g]
+	for w := 0; w < t.ways; w++ {
+		if addr.Way(w) != skip && e.abv&(1<<w) == 0 {
+			return addr.Way(w), true
+		}
+	}
+	return 0, false
+}
+
+// --- slot-0 cache tag ---------------------------------------------------
+
+// CacheTag returns the logical way cached in slot 0, if any.
+func (t *Table) CacheTag(g addr.Group) (way addr.Way, dirty, valid bool) {
+	e := &t.entries[g]
+	return addr.Way(e.cacheWay), e.flags&flagDirty != 0, e.flags&flagCacheValid != 0
+}
+
+// FillCache records that the given off-chip logical way is now
+// duplicated in slot 0.
+func (t *Table) FillCache(g addr.Group, way addr.Way) {
+	e := &t.entries[g]
+	e.cacheWay = uint8(way)
+	e.flags |= flagCacheValid
+	e.flags &^= flagDirty
+}
+
+// MarkCacheDirty sets the dirty bit of the slot-0 cache copy.
+func (t *Table) MarkCacheDirty(g addr.Group) { t.entries[g].flags |= flagDirty }
+
+// InvalidateCache drops the slot-0 cache copy.
+func (t *Table) InvalidateCache(g addr.Group) {
+	t.entries[g].flags &^= flagCacheValid | flagDirty
+}
+
+// --- shared competing counter (MEA) -------------------------------------
+
+// CountAccess applies one off-chip access by the given logical way to
+// the group's shared competing counter (a Majority-Element-Algorithm
+// style hot-segment detector, as in [25]/[33]). It returns true when
+// the way's count has reached threshold, i.e. the segment should be
+// swapped into the stacked slot. The counter is reset by the caller via
+// ResetCounter after acting on the decision.
+func (t *Table) CountAccess(g addr.Group, way addr.Way, threshold int) bool {
+	e := &t.entries[g]
+	switch {
+	case e.candidate == noCandidate:
+		e.candidate = uint8(way)
+		e.counter = 1
+	case addr.Way(e.candidate) == way:
+		if e.counter < 0xFF {
+			e.counter++
+		}
+	default:
+		e.counter--
+		if e.counter == 0 {
+			e.candidate = noCandidate
+		}
+		return false
+	}
+	return int(e.counter) >= threshold
+}
+
+// ResetCounter clears the group's competing counter.
+func (t *Table) ResetCounter(g addr.Group) {
+	e := &t.entries[g]
+	e.counter = 0
+	e.candidate = noCandidate
+}
+
+// --- statistics / invariants --------------------------------------------
+
+// CacheModeGroups counts groups currently operating in cache mode.
+func (t *Table) CacheModeGroups() (n uint32) {
+	for i := range t.entries {
+		if t.entries[i].flags&flagCacheMode != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants validates the structural invariants of every group:
+// perm is a permutation of the ways; in cache mode the slot-0 resident
+// is unallocated; a valid cache tag implies cache mode and names an
+// allocated way not resident in slot 0. It returns the first violation
+// found.
+func (t *Table) CheckInvariants() error {
+	for i := range t.entries {
+		e := &t.entries[i]
+		var seen uint16
+		for s := 0; s < t.ways; s++ {
+			w := e.residentAt(addr.Way(s))
+			if int(w) >= t.ways {
+				return fmt.Errorf("srrt: group %d slot %d holds invalid way %d", i, s, w)
+			}
+			if seen&(1<<w) != 0 {
+				return fmt.Errorf("srrt: group %d way %d resident in two slots", i, w)
+			}
+			seen |= 1 << w
+		}
+		if e.flags&flagCacheMode != 0 {
+			if res := e.residentAt(0); e.abv&(1<<res) != 0 {
+				return fmt.Errorf("srrt: group %d in cache mode but slot-0 resident way %d is allocated", i, res)
+			}
+		}
+		if e.flags&flagCacheValid != 0 {
+			if e.flags&flagCacheMode == 0 {
+				return fmt.Errorf("srrt: group %d has a cache tag but is in PoM mode", i)
+			}
+			if e.cacheWay == uint8(e.residentAt(0)) {
+				return fmt.Errorf("srrt: group %d caches the slot-0 resident itself", i)
+			}
+			if int(e.cacheWay) >= t.ways {
+				return fmt.Errorf("srrt: group %d cache tag names invalid way %d", i, e.cacheWay)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,355 @@
+package srrt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chameleon/internal/addr"
+	"chameleon/internal/rng"
+)
+
+func testTable(t *testing.T, ratio int) *Table {
+	t.Helper()
+	seg := uint64(2048)
+	sp, err := addr.NewSpace(8*seg, uint64(ratio)*8*seg, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := New(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestIdentityAtBoot(t *testing.T) {
+	tb := testTable(t, 5)
+	for g := addr.Group(0); uint32(g) < tb.Groups(); g++ {
+		for w := 0; w < tb.Ways(); w++ {
+			if got := tb.SlotOf(g, addr.Way(w)); got != addr.Way(w) {
+				t.Fatalf("group %d way %d at slot %d, want identity", g, w, got)
+			}
+		}
+		if tb.ModeOf(g) != ModePoM {
+			t.Fatalf("group %d not in PoM mode at boot", g)
+		}
+		if tb.AllAllocated(g) {
+			t.Fatalf("group %d allocated at boot", g)
+		}
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTooManyWaysRejected(t *testing.T) {
+	seg := uint64(2048)
+	sp, err := addr.NewSpace(8*seg, 8*8*seg, seg) // ratio 8 -> 9 ways
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(sp); err == nil {
+		t.Error("9-way group should be rejected")
+	}
+}
+
+func TestSwapSlots(t *testing.T) {
+	tb := testTable(t, 5)
+	tb.SwapSlots(3, 0, 2)
+	if tb.SlotOf(3, 0) != 2 || tb.SlotOf(3, 2) != 0 {
+		t.Error("swap did not exchange residents")
+	}
+	if tb.ResidentAt(3, 0) != 2 || tb.ResidentAt(3, 2) != 0 {
+		t.Error("ResidentAt inconsistent after swap")
+	}
+	// Other groups untouched.
+	if tb.SlotOf(4, 0) != 0 {
+		t.Error("swap leaked into another group")
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSwapPermutationProperty: any sequence of swaps keeps each group a
+// permutation (validated by CheckInvariants).
+func TestSwapPermutationProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		tb := testTable(t, 7) // 8 ways
+		r := rng.New(seed)
+		for i := 0; i < int(n); i++ {
+			g := addr.Group(r.Intn(int(tb.Groups())))
+			a := addr.Way(r.Intn(tb.Ways()))
+			b := addr.Way(r.Intn(tb.Ways()))
+			tb.SwapSlots(g, a, b)
+		}
+		return tb.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestABV(t *testing.T) {
+	tb := testTable(t, 5)
+	g := addr.Group(1)
+	if tb.Allocated(g, 2) {
+		t.Error("way 2 allocated at boot")
+	}
+	tb.SetAllocated(g, 2, true)
+	if !tb.Allocated(g, 2) {
+		t.Error("SetAllocated(true) did not stick")
+	}
+	if tb.AllAllocated(g) {
+		t.Error("one bit should not be all")
+	}
+	for w := 0; w < tb.Ways(); w++ {
+		tb.SetAllocated(g, addr.Way(w), true)
+	}
+	if !tb.AllAllocated(g) {
+		t.Error("all ways allocated but AllAllocated is false")
+	}
+	if _, ok := tb.FreeWay(g, 0xF); ok {
+		t.Error("FreeWay found a way in a full group")
+	}
+	tb.SetAllocated(g, 4, false)
+	w, ok := tb.FreeWay(g, 0xF)
+	if !ok || w != 4 {
+		t.Errorf("FreeWay = (%d,%v), want (4,true)", w, ok)
+	}
+	if _, ok := tb.FreeWay(g, 4); ok {
+		t.Error("FreeWay must honour skip")
+	}
+}
+
+func TestModeTransitions(t *testing.T) {
+	tb := testTable(t, 5)
+	g := addr.Group(0)
+	tb.SetMode(g, ModeCache)
+	if tb.ModeOf(g) != ModeCache {
+		t.Error("mode not switched to cache")
+	}
+	tb.FillCache(g, 3)
+	tb.MarkCacheDirty(g)
+	// Switching back to PoM drops the cache tag and dirty bit.
+	tb.SetMode(g, ModePoM)
+	if _, _, valid := tb.CacheTag(g); valid {
+		t.Error("cache tag survived PoM transition")
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheTagLifecycle(t *testing.T) {
+	tb := testTable(t, 5)
+	g := addr.Group(2)
+	tb.SetMode(g, ModeCache)
+	if _, _, valid := tb.CacheTag(g); valid {
+		t.Error("cache tag valid before fill")
+	}
+	tb.FillCache(g, 4)
+	way, dirty, valid := tb.CacheTag(g)
+	if !valid || way != 4 || dirty {
+		t.Errorf("CacheTag = (%d,%v,%v)", way, dirty, valid)
+	}
+	loc := tb.Lookup(g, 4)
+	if !loc.CacheHit || loc.Slot != 0 {
+		t.Errorf("Lookup cached way = %+v", loc)
+	}
+	// Other ways are not cache hits.
+	if loc := tb.Lookup(g, 3); loc.CacheHit {
+		t.Error("uncached way reported as cache hit")
+	}
+	tb.MarkCacheDirty(g)
+	if _, dirty, _ := tb.CacheTag(g); !dirty {
+		t.Error("dirty bit not set")
+	}
+	tb.InvalidateCache(g)
+	if _, _, valid := tb.CacheTag(g); valid {
+		t.Error("invalidate did not clear the tag")
+	}
+}
+
+func TestLookupFollowsPermutation(t *testing.T) {
+	tb := testTable(t, 5)
+	g := addr.Group(7)
+	tb.SwapSlots(g, 0, 3)
+	if loc := tb.Lookup(g, 3); loc.Slot != 0 || loc.CacheHit {
+		t.Errorf("way 3 should reside in slot 0: %+v", loc)
+	}
+	if loc := tb.Lookup(g, 0); loc.Slot != 3 {
+		t.Errorf("way 0 should reside in slot 3: %+v", loc)
+	}
+}
+
+// TestCountAccessMEA exercises the competing-counter semantics.
+func TestCountAccessMEA(t *testing.T) {
+	tb := testTable(t, 5)
+	g := addr.Group(0)
+	const threshold = 4
+	// Three accesses by way 2: below threshold.
+	for i := 0; i < 3; i++ {
+		if tb.CountAccess(g, 2, threshold) {
+			t.Fatal("threshold reported early")
+		}
+	}
+	// A competing access by way 3 decrements, does not trigger.
+	if tb.CountAccess(g, 3, threshold) {
+		t.Fatal("competitor triggered")
+	}
+	// Two more by way 2 reach the threshold (3-1+2=4).
+	tb.CountAccess(g, 2, threshold)
+	if !tb.CountAccess(g, 2, threshold) {
+		t.Fatal("threshold not reached")
+	}
+	tb.ResetCounter(g)
+	if tb.CountAccess(g, 2, threshold) {
+		t.Fatal("counter not reset")
+	}
+}
+
+func TestCounterCandidateTakeover(t *testing.T) {
+	tb := testTable(t, 5)
+	g := addr.Group(1)
+	tb.CountAccess(g, 1, 10)
+	// Decrement to zero: candidate slot frees up.
+	tb.CountAccess(g, 2, 10)
+	// Now way 3 becomes the candidate and counts from 1.
+	for i := 0; i < 9; i++ {
+		if tb.CountAccess(g, 3, 10) {
+			if i < 8 {
+				t.Fatalf("triggered after %d accesses", i+2)
+			}
+		}
+	}
+}
+
+func TestCacheModeGroups(t *testing.T) {
+	tb := testTable(t, 5)
+	if tb.CacheModeGroups() != 0 {
+		t.Error("no groups should be in cache mode at boot")
+	}
+	tb.SetMode(2, ModeCache)
+	tb.SetMode(5, ModeCache)
+	if tb.CacheModeGroups() != 2 {
+		t.Errorf("CacheModeGroups = %d, want 2", tb.CacheModeGroups())
+	}
+}
+
+func TestInvariantViolationsDetected(t *testing.T) {
+	tb := testTable(t, 5)
+	// Cache mode with an allocated slot-0 resident.
+	tb.SetAllocated(0, 0, true)
+	tb.SetMode(0, ModeCache)
+	if err := tb.CheckInvariants(); err == nil {
+		t.Error("allocated slot-0 resident in cache mode not caught")
+	}
+}
+
+func TestInvariantCacheTagInPoM(t *testing.T) {
+	tb := testTable(t, 5)
+	tb.SetMode(1, ModeCache)
+	tb.FillCache(1, 2)
+	// Force the flag combination by hand through the public API is not
+	// possible (SetMode clears the tag), which is itself the guarantee.
+	tb.SetMode(1, ModePoM)
+	if err := tb.CheckInvariants(); err != nil {
+		t.Errorf("legal state flagged: %v", err)
+	}
+}
+
+func TestMetaCache(t *testing.T) {
+	m := NewMetaCache(4)
+	if !m.Enabled() {
+		t.Fatal("cache should be enabled")
+	}
+	if m.Lookup(1) {
+		t.Error("cold lookup hit")
+	}
+	if !m.Lookup(1) {
+		t.Error("warm lookup missed")
+	}
+	// Direct-mapped conflict: 1 and 5 share index in a 4-entry cache.
+	m.Lookup(5)
+	if m.Lookup(1) {
+		t.Error("conflicting entry not evicted")
+	}
+	hits, misses := m.Stats()
+	if hits != 1 || misses != 3 {
+		t.Errorf("stats = (%d,%d)", hits, misses)
+	}
+}
+
+func TestMetaCacheDisabled(t *testing.T) {
+	m := NewMetaCache(0)
+	if m.Enabled() {
+		t.Fatal("zero entries must disable the model")
+	}
+	for i := uint32(0); i < 100; i++ {
+		if !m.Lookup(i) {
+			t.Fatal("disabled cache must always hit")
+		}
+	}
+	if m.HitRate() != 1 {
+		t.Errorf("hit rate = %v", m.HitRate())
+	}
+}
+
+func TestMetaCacheRoundsToPowerOfTwo(t *testing.T) {
+	m := NewMetaCache(100) // rounds to 64
+	if len(m.tags) != 64 {
+		t.Errorf("entries = %d, want 64", len(m.tags))
+	}
+}
+
+// TestCounterSaturationProperty: the shared counter must never
+// overflow its 8-bit storage regardless of the access pattern.
+func TestCounterSaturationProperty(t *testing.T) {
+	tb := testTable(t, 5)
+	g := addr.Group(0)
+	for i := 0; i < 1000; i++ {
+		tb.CountAccess(g, 2, 1<<30) // threshold never reached
+	}
+	// Not observable directly; verify behaviour: a single competing
+	// access must still decrement without wrapping.
+	if tb.CountAccess(g, 3, 1<<30) {
+		t.Fatal("competitor must not trigger")
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFillCacheLookupProperty: after filling any off-chip way, exactly
+// that way cache-hits and every other way resolves to its slot.
+func TestFillCacheLookupProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		tb := testTable(t, 5)
+		r := rng.New(seed)
+		g := addr.Group(r.Intn(int(tb.Groups())))
+		tb.SetMode(g, ModeCache)
+		way := addr.Way(r.Intn(tb.Ways()-1) + 1) // off-chip way
+		tb.FillCache(g, way)
+		for w := 0; w < tb.Ways(); w++ {
+			loc := tb.Lookup(g, addr.Way(w))
+			if addr.Way(w) == way {
+				if !loc.CacheHit || loc.Slot != 0 {
+					return false
+				}
+			} else if loc.CacheHit {
+				return false
+			}
+		}
+		return tb.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModePoM.String() != "pom" || ModeCache.String() != "cache" {
+		t.Error("mode strings wrong")
+	}
+}

@@ -1,0 +1,67 @@
+package srrt
+
+// MetaCache models the small on-die cache of SRRT entries. The full
+// table lives in stacked DRAM (as in Sim et al. [25]); a lookup that
+// misses this cache costs one extra stacked-DRAM access to fetch the
+// group's metadata. The cache is direct-mapped on the group ID.
+type MetaCache struct {
+	tags    []uint32
+	valid   []bool
+	mask    uint32
+	hits    uint64
+	misses  uint64
+	enabled bool
+}
+
+// NewMetaCache builds a meta cache with the given number of entries
+// (rounded down to a power of two). entries == 0 disables the model:
+// every lookup hits, costing nothing, which corresponds to an
+// idealised SRAM table.
+func NewMetaCache(entries int) *MetaCache {
+	if entries <= 0 {
+		return &MetaCache{}
+	}
+	n := 1
+	for n*2 <= entries {
+		n *= 2
+	}
+	return &MetaCache{
+		tags:    make([]uint32, n),
+		valid:   make([]bool, n),
+		mask:    uint32(n - 1),
+		enabled: true,
+	}
+}
+
+// Enabled reports whether misses are being modelled.
+func (m *MetaCache) Enabled() bool { return m.enabled }
+
+// Lookup touches the cache for group g and reports whether the entry
+// was resident. On a miss the entry is installed.
+func (m *MetaCache) Lookup(g uint32) (hit bool) {
+	if !m.enabled {
+		m.hits++
+		return true
+	}
+	i := g & m.mask
+	if m.valid[i] && m.tags[i] == g {
+		m.hits++
+		return true
+	}
+	m.misses++
+	m.valid[i] = true
+	m.tags[i] = g
+	return false
+}
+
+// Stats returns hit and miss counts.
+func (m *MetaCache) Stats() (hits, misses uint64) { return m.hits, m.misses }
+
+// HitRate returns hits/(hits+misses), 1 when idle.
+func (m *MetaCache) HitRate() float64 {
+	t := m.hits + m.misses
+	if t == 0 {
+		return 1
+	}
+	return float64(m.hits) / float64(t)
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("GeoMean(nil) = %v", g)
+	}
+	if g := GeoMean([]float64{0, -1}); g != 0 {
+		t.Errorf("GeoMean of non-positives = %v", g)
+	}
+	// Non-positive entries are skipped.
+	if g := GeoMean([]float64{4, 0}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("GeoMean(4,0) = %v", g)
+	}
+}
+
+// TestGeoMeanBounds: the geometric mean of positive numbers lies
+// between the min and max.
+func TestGeoMeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r%1000) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := GeoMean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{2, 4}, 2)
+	if out[0] != 1 || out[1] != 2 {
+		t.Errorf("Normalize = %v", out)
+	}
+	if out := Normalize([]float64{1}, 0); out[0] != 0 {
+		t.Error("zero base should give zeros, not Inf")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(100, 111.6); math.Abs(got-11.6) > 1e-9 {
+		t.Errorf("Improvement = %v", got)
+	}
+	if Improvement(0, 5) != 0 {
+		t.Error("zero base should yield 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("workload", "ipc")
+	tb.AddRow("bwaves", 1.2345678)
+	tb.AddRow("mcf", 3)
+	s := tb.String()
+	if !strings.Contains(s, "workload") || !strings.Contains(s, "bwaves") {
+		t.Errorf("table missing content:\n%s", s)
+	}
+	if !strings.Contains(s, "1.235") {
+		t.Errorf("float not rounded to 4 significant digits:\n%s", s)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "workload,ipc\n") {
+		t.Errorf("csv header wrong:\n%s", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != 3 {
+		t.Errorf("csv line count = %d", lines)
+	}
+}

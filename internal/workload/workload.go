@@ -1,0 +1,97 @@
+// Package workload defines the synthetic application profiles standing
+// in for the paper's SPEC2006 / NAS / Mantevo / stream workloads. Each
+// profile is calibrated to Table II of the paper (LLC-MPKI and total
+// memory footprint of the 12-copy rate-mode workload); the locality
+// knobs are chosen per application class (streaming, pointer-chasing,
+// stencil, compute-bound).
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"chameleon/internal/config"
+	"chameleon/internal/trace"
+)
+
+// Copies is the paper's rate mode: 12 copies of the same application,
+// one per core.
+const Copies = 12
+
+// gb converts a Table II footprint (in GB, for all 12 copies) to the
+// per-process footprint in bytes.
+func gb(total float64) uint64 {
+	return uint64(total * float64(config.GB) / Copies)
+}
+
+// profiles lists Table II. TargetLLCMPKI and FootprintBytes come
+// straight from the table; RefPKI/locality are per-class calibrations.
+var profiles = []trace.Profile{
+	{Name: "bwaves", FootprintBytes: gb(21.86), TargetLLCMPKI: 12.91, RefPKI: 120, StreamFrac: 0.15, HotFrac: 0.90, HotRegionFrac: 0.09, WriteFrac: 0.30, BurstLines: 20},
+	{Name: "cactusADM", FootprintBytes: gb(20.12), TargetLLCMPKI: 2.03, RefPKI: 120, StreamFrac: 0.12, HotFrac: 0.90, HotRegionFrac: 0.10, WriteFrac: 0.32, BurstLines: 16},
+	{Name: "cloverleaf", FootprintBytes: gb(23.01), TargetLLCMPKI: 30.33, RefPKI: 130, StreamFrac: 0.18, HotFrac: 0.88, HotRegionFrac: 0.10, WriteFrac: 0.35, BurstLines: 20},
+	{Name: "comd", FootprintBytes: gb(23.18), TargetLLCMPKI: 0.71, RefPKI: 110, StreamFrac: 0.10, HotFrac: 0.90, HotRegionFrac: 0.08, WriteFrac: 0.25, BurstLines: 12},
+	{Name: "GemsFDTD", FootprintBytes: gb(22.56), TargetLLCMPKI: 20.783, RefPKI: 130, StreamFrac: 0.18, HotFrac: 0.90, HotRegionFrac: 0.09, WriteFrac: 0.33, BurstLines: 20},
+	{Name: "hpccg", FootprintBytes: gb(22.15), TargetLLCMPKI: 7.81, RefPKI: 120, StreamFrac: 0.15, HotFrac: 0.90, HotRegionFrac: 0.09, WriteFrac: 0.28, BurstLines: 16},
+	{Name: "lbm", FootprintBytes: gb(19.17), TargetLLCMPKI: 29.55, RefPKI: 140, StreamFrac: 0.30, HotFrac: 0.88, HotRegionFrac: 0.08, WriteFrac: 0.45, BurstLines: 24},
+	{Name: "leslie3d", FootprintBytes: gb(21.65), TargetLLCMPKI: 12.18, RefPKI: 120, StreamFrac: 0.18, HotFrac: 0.90, HotRegionFrac: 0.09, WriteFrac: 0.32, BurstLines: 20},
+	{Name: "mcf", FootprintBytes: gb(19.65), TargetLLCMPKI: 59.804, RefPKI: 150, StreamFrac: 0.03, HotFrac: 0.75, HotRegionFrac: 0.15, WriteFrac: 0.25, BurstLines: 3},
+	{Name: "miniAMR", FootprintBytes: gb(22.40), TargetLLCMPKI: 1.44, RefPKI: 110, StreamFrac: 0.12, HotFrac: 0.90, HotRegionFrac: 0.09, WriteFrac: 0.30, BurstLines: 14},
+	{Name: "miniFE", FootprintBytes: gb(22.55), TargetLLCMPKI: 0.48, RefPKI: 110, StreamFrac: 0.12, HotFrac: 0.90, HotRegionFrac: 0.08, WriteFrac: 0.28, BurstLines: 14},
+	{Name: "miniGhost", FootprintBytes: gb(20.68), TargetLLCMPKI: 0.19, RefPKI: 100, StreamFrac: 0.12, HotFrac: 0.90, HotRegionFrac: 0.08, WriteFrac: 0.28, BurstLines: 12},
+	{Name: "SP", FootprintBytes: gb(21.72), TargetLLCMPKI: 0.87, RefPKI: 110, StreamFrac: 0.15, HotFrac: 0.90, HotRegionFrac: 0.09, WriteFrac: 0.30, BurstLines: 14},
+	{Name: "stream", FootprintBytes: gb(21.66), TargetLLCMPKI: 35.77, RefPKI: 140, StreamFrac: 0.60, HotFrac: 0.85, HotRegionFrac: 0.05, WriteFrac: 0.40, BurstLines: 28},
+}
+
+// Names returns all workload names in the paper's x-axis order
+// (alphabetical).
+func Names() []string {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Profiles returns every Table II profile.
+func Profiles() []trace.Profile {
+	out := make([]trace.Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// ByName fetches one profile.
+func ByName(name string) (trace.Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return trace.Profile{}, fmt.Errorf("workload: unknown profile %q", name)
+}
+
+// HighFootprint returns the 12 workloads used in the capacity studies
+// (Figures 4 and 5), in the paper's x-axis order.
+func HighFootprint() []string {
+	return []string{
+		"bwaves", "leslie3d", "GemsFDTD", "lbm", "mcf", "hpccg",
+		"SP", "stream", "cloverleaf", "comd", "miniFE", "cactusADM",
+	}
+}
+
+// Fig3Sequence returns the order in which workloads run back-to-back
+// in the Figure 3 free-memory-over-time experiment.
+func Fig3Sequence() []string {
+	return []string{
+		"bwaves", "leslie3d", "GemsFDTD", "lbm", "mcf", "hpccg",
+		"SP", "stream", "cloverleaf", "comd", "miniFE", "cactusADM",
+		"miniAMR", "miniGhost",
+	}
+}
+
+// TotalFootprint returns the footprint of a rate-mode workload (all
+// copies), optionally scaled.
+func TotalFootprint(p trace.Profile, scale uint64) uint64 {
+	return p.Scale(scale).FootprintBytes * Copies
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"testing"
+
+	"chameleon/internal/config"
+)
+
+// tableII is the paper's Table II: LLC-MPKI and memory footprint in GB
+// for the 12-copy rate-mode workload.
+var tableII = map[string]struct {
+	mpki float64
+	mf   float64
+}{
+	"bwaves": {12.91, 21.86}, "lbm": {29.55, 19.17},
+	"cactusADM": {2.03, 20.12}, "leslie3d": {12.18, 21.65},
+	"mcf": {59.804, 19.65}, "GemsFDTD": {20.783, 22.56},
+	"SP": {0.87, 21.72}, "cloverleaf": {30.33, 23.01},
+	"comd": {0.71, 23.18}, "miniAMR": {1.44, 22.40},
+	"hpccg": {7.81, 22.15}, "miniFE": {0.48, 22.55},
+	"miniGhost": {0.19, 20.68}, "stream": {35.77, 21.66},
+}
+
+func TestAllTableIIWorkloadsPresent(t *testing.T) {
+	if len(Profiles()) != len(tableII) {
+		t.Fatalf("%d profiles, want %d", len(Profiles()), len(tableII))
+	}
+	for name, want := range tableII {
+		p, err := ByName(name)
+		if err != nil {
+			t.Errorf("%s missing: %v", name, err)
+			continue
+		}
+		if p.TargetLLCMPKI != want.mpki {
+			t.Errorf("%s MPKI = %v, want %v", name, p.TargetLLCMPKI, want.mpki)
+		}
+		total := float64(p.FootprintBytes*Copies) / float64(config.GB)
+		if total < want.mf*0.999 || total > want.mf*1.001 {
+			t.Errorf("%s footprint = %.2f GB, want %.2f GB", name, total, want.mf)
+		}
+	}
+}
+
+func TestAllProfilesValid(t *testing.T) {
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if err := p.Scale(256).Validate(); err != nil {
+			t.Errorf("%s scaled: %v", p.Name, err)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestHighFootprintSubset(t *testing.T) {
+	hf := HighFootprint()
+	if len(hf) != 12 {
+		t.Fatalf("capacity-study workloads = %d, want 12", len(hf))
+	}
+	for _, n := range hf {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestFig3SequenceCoversAll(t *testing.T) {
+	seq := Fig3Sequence()
+	if len(seq) != len(Profiles()) {
+		t.Errorf("sequence covers %d workloads, want all %d", len(seq), len(Profiles()))
+	}
+	seen := map[string]bool{}
+	for _, n := range seq {
+		if seen[n] {
+			t.Errorf("%s appears twice", n)
+		}
+		seen[n] = true
+		if _, err := ByName(n); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestTotalFootprint(t *testing.T) {
+	p, _ := ByName("bwaves")
+	full := TotalFootprint(p, 1)
+	scaled := TotalFootprint(p, 64)
+	if full/scaled < 63 || full/scaled > 65 {
+		t.Errorf("scaling off: %d vs %d", full, scaled)
+	}
+}
+
+// TestFootprintsExceedTwentyGB: the premise of the paper's capacity
+// study — every high-footprint workload overflows a 20 GB system but
+// fits in 24 GB.
+func TestFootprintsExceedTwentyGB(t *testing.T) {
+	for _, name := range HighFootprint() {
+		p, _ := ByName(name)
+		total := p.FootprintBytes * Copies
+		if total <= 19*config.GB {
+			t.Errorf("%s footprint %.1f GB does not stress a 20 GB system", name, float64(total)/float64(config.GB))
+		}
+		if total >= 24*config.GB {
+			t.Errorf("%s footprint %.1f GB does not fit the 24 GB system", name, float64(total)/float64(config.GB))
+		}
+	}
+}
