@@ -36,10 +36,13 @@
 package chameleon
 
 import (
+	"context"
+
 	"chameleon/internal/config"
 	"chameleon/internal/dram"
 	"chameleon/internal/experiments"
 	"chameleon/internal/osmodel"
+	"chameleon/internal/server"
 	"chameleon/internal/sim"
 	"chameleon/internal/trace"
 	"chameleon/internal/workload"
@@ -156,3 +159,47 @@ type Matrix = experiments.Matrix
 // RunMatrix executes every evaluation policy on every selected
 // workload.
 func RunMatrix(o ExperimentOptions) (*Matrix, error) { return experiments.RunMatrix(o) }
+
+// RunMatrixContext is RunMatrix with cancellation: the context is
+// threaded into every cell's simulation.
+func RunMatrixContext(ctx context.Context, o ExperimentOptions) (*Matrix, error) {
+	return experiments.RunMatrixContext(ctx, o)
+}
+
+// Simulation-as-a-service (cmd/chamd). Server hosts the simulator
+// behind an HTTP JSON API with a bounded worker pool, per-job
+// deadlines, a content-addressed result cache and expvar metrics;
+// Client talks to one.
+type (
+	// Server is the embeddable simulation service.
+	Server = server.Server
+	// ServerOptions sizes a Server's pool, queue, cache and default
+	// job deadline.
+	ServerOptions = server.Options
+	// JobSpec is the wire-format description of one job.
+	JobSpec = server.JobSpec
+	// JobStatus is a job's status snapshot (state, progress, timings).
+	JobStatus = server.JobStatus
+	// JobState is a job's lifecycle state ("queued" ... "done").
+	JobState = server.JobState
+	// Job is a submitted unit of work owned by a Server.
+	Job = server.Job
+	// Client is a Go client for a chamd server.
+	Client = server.Client
+)
+
+// Job lifecycle states.
+const (
+	JobQueued   = server.StateQueued
+	JobRunning  = server.StateRunning
+	JobDone     = server.StateDone
+	JobFailed   = server.StateFailed
+	JobCanceled = server.StateCanceled
+)
+
+// NewServer builds and starts an embeddable simulation service; serve
+// its Handler() over HTTP, or submit jobs in-process with Submit.
+func NewServer(o ServerOptions) *Server { return server.New(o) }
+
+// NewClient targets a running chamd server's base URL.
+func NewClient(baseURL string) *Client { return server.NewClient(baseURL) }

@@ -1,0 +1,103 @@
+// Command chamd serves the chameleon simulator as a long-running
+// service: an HTTP JSON API over a bounded worker pool with a
+// content-addressed result cache and expvar metrics.
+//
+// Usage:
+//
+//	chamd [-addr :8080] [-workers N] [-queue-depth 256]
+//	      [-job-timeout 10m] [-cache-entries 1024]
+//	      [-shutdown-grace 30s]
+//
+// Endpoints:
+//
+//	POST   /v1/jobs           submit a sim or matrix job
+//	GET    /v1/jobs           list jobs
+//	GET    /v1/jobs/{id}      status + live progress
+//	GET    /v1/jobs/{id}/result  result JSON
+//	DELETE /v1/jobs/{id}      cancel
+//	GET    /v1/workloads      workload catalogue
+//	GET    /healthz           liveness
+//	GET    /debug/vars        metrics
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: intake stops, queued
+// jobs are canceled, and in-flight simulations get -shutdown-grace to
+// finish before their run contexts are cut.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chameleon/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		depth    = flag.Int("queue-depth", 256, "bounded job-queue depth")
+		timeout  = flag.Duration("job-timeout", 10*time.Minute, "default per-job deadline")
+		cacheN   = flag.Int("cache-entries", 1024, "result-cache capacity")
+		grace    = flag.Duration("shutdown-grace", 30*time.Second, "drain budget for in-flight jobs")
+	)
+	flag.Parse()
+
+	if err := run(*addr, server.Options{
+		Workers:        *workers,
+		QueueDepth:     *depth,
+		DefaultTimeout: *timeout,
+		CacheEntries:   *cacheN,
+	}, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "chamd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, opts server.Options, grace time.Duration) error {
+	srv := server.New(opts)
+	srv.Metrics().PublishExpvar()
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("chamd: serving on %s", addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		log.Printf("chamd: %s, draining (grace %s)", sig, grace)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	// Stop accepting connections first, then drain the job pool.
+	httpErr := httpSrv.Shutdown(ctx)
+	drainErr := srv.Shutdown(ctx)
+	if drainErr != nil {
+		log.Printf("chamd: drain cut short: %v", drainErr)
+	}
+	if httpErr != nil && !errors.Is(httpErr, context.DeadlineExceeded) {
+		return httpErr
+	}
+	log.Printf("chamd: stopped")
+	return nil
+}

@@ -10,6 +10,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -35,8 +37,14 @@ type Options struct {
 	Seed uint64
 	// Workloads restricts the workload set (nil = all of Table II).
 	Workloads []string
-	// Parallelism bounds concurrent simulations (default GOMAXPROCS).
+	// Parallelism bounds concurrent simulations. Zero and negative
+	// values default to GOMAXPROCS (a negative value would otherwise
+	// panic constructing the semaphore channel).
 	Parallelism int
+	// Progress, when non-nil, is called after each matrix cell
+	// finishes with the number of completed cells and the total.
+	// Calls are serialized under the matrix lock.
+	Progress func(done, total int) `json:"-"`
 }
 
 // Defaults fills in zero fields.
@@ -73,13 +81,18 @@ func (o Options) profile(name string) (trace.Profile, error) {
 
 // runOne builds and runs a single simulation.
 func (o Options) runOne(opts sim.Options) (*sim.Result, error) {
+	return o.runOneContext(context.Background(), opts)
+}
+
+// runOneContext builds and runs a single cancellable simulation.
+func (o Options) runOneContext(ctx context.Context, opts sim.Options) (*sim.Result, error) {
 	opts.Seed = o.Seed
 	opts.WarmupInstructions = o.Warmup
 	s, err := sim.New(opts)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run(o.Instructions)
+	return s.RunContext(ctx, o.Instructions)
 }
 
 // Matrix holds one result per (policy, workload) pair.
@@ -118,6 +131,14 @@ const policyFlat24 sim.PolicyKind = 1000
 // RunMatrix executes every policy on every selected workload, reusing
 // one run across all the figures that need it (15-20 and 22).
 func RunMatrix(o Options) (*Matrix, error) {
+	return RunMatrixContext(context.Background(), o)
+}
+
+// RunMatrixContext is RunMatrix with cancellation: the context is
+// passed down into every cell's simulation, so a deadline or cancel
+// stops the whole sweep. Cells that fail do not abort their peers;
+// every failure is reported, joined into one error.
+func RunMatrixContext(ctx context.Context, o Options) (*Matrix, error) {
 	o = o.Defaults()
 	cfg := config.Default(o.Scale)
 
@@ -146,35 +167,73 @@ func RunMatrix(o Options) (*Matrix, error) {
 	m := &Matrix{Opts: o, Policies: append(standardPolicies(), policyFlat24),
 		Results: map[sim.PolicyKind]map[string]*sim.Result{}}
 	var mu sync.Mutex
-	var firstErr error
+	var errs []error
+	done := 0
 	sem := make(chan struct{}, o.Parallelism)
 	var wg sync.WaitGroup
 	for _, j := range jobs {
+		if ctx.Err() != nil {
+			// Don't launch cells that would fail immediately; the
+			// cancellation itself is reported below.
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(j job) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, err := o.runOne(j.opts)
+			res, err := o.runOneContext(ctx, j.opts)
 			mu.Lock()
 			defer mu.Unlock()
+			done++
 			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%v/%s: %w", j.policy, j.workload, err)
+				errs = append(errs, fmt.Errorf("%v/%s: %w", j.policy, j.workload, err))
+			} else {
+				if m.Results[j.policy] == nil {
+					m.Results[j.policy] = map[string]*sim.Result{}
 				}
-				return
+				m.Results[j.policy][j.workload] = res
 			}
-			if m.Results[j.policy] == nil {
-				m.Results[j.policy] = map[string]*sim.Result{}
+			if o.Progress != nil {
+				o.Progress(done, len(jobs))
 			}
-			m.Results[j.policy][j.workload] = res
 		}(j)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 	return m, nil
+}
+
+// PolicyKey returns the stable wire name for a matrix policy column;
+// the two flat baselines are distinguished by capacity.
+func PolicyKey(pk sim.PolicyKind) string {
+	switch pk {
+	case sim.PolicyFlat:
+		return "flat-20"
+	case policyFlat24:
+		return "flat-24"
+	default:
+		return pk.String()
+	}
+}
+
+// ByName re-keys the results by policy wire name, for JSON consumers
+// that cannot use integer PolicyKind keys.
+func (m *Matrix) ByName() map[string]map[string]*sim.Result {
+	out := make(map[string]map[string]*sim.Result, len(m.Results))
+	for pk, rows := range m.Results {
+		inner := make(map[string]*sim.Result, len(rows))
+		for wl, r := range rows {
+			inner[wl] = r
+		}
+		out[PolicyKey(pk)] = inner
+	}
+	return out
 }
 
 // get fetches one result, with a descriptive panic on misuse (matrix

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNegativeParallelismDefaults(t *testing.T) {
+	o := Options{Parallelism: -4}.Defaults()
+	if o.Parallelism < 1 {
+		t.Fatalf("negative parallelism not clamped: %d", o.Parallelism)
+	}
+}
+
+func TestMatrixJoinsAllErrors(t *testing.T) {
+	// Scale 3 is not a power of two, so every cell's sim.New fails on
+	// config validation. All cells — not just the first — must be
+	// reported.
+	o := tiny("bwaves", "GemsFDTD")
+	o.Scale = 3
+	_, err := RunMatrix(o)
+	if err == nil {
+		t.Fatal("invalid scale should fail every cell")
+	}
+	msg := err.Error()
+	for _, wl := range []string{"bwaves", "GemsFDTD"} {
+		if !strings.Contains(msg, wl) {
+			t.Errorf("joined error missing cell for %s:\n%s", wl, msg)
+		}
+	}
+	if n := strings.Count(msg, "\n"); n < 3 {
+		t.Errorf("expected many joined cell errors, got %d newline-separated:\n%s", n, msg)
+	}
+}
+
+func TestMatrixContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := tiny("bwaves")
+	if _, err := RunMatrixContext(ctx, o); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestMatrixProgress(t *testing.T) {
+	o := tiny("bwaves")
+	o.Instructions = 10_000
+	o.Warmup = 10_000
+	var calls, lastDone, total int
+	o.Progress = func(done, tot int) { calls++; lastDone = done; total = tot }
+	if _, err := RunMatrix(o); err != nil {
+		t.Fatal(err)
+	}
+	// 7 standard policies, with flat counted twice (20 and 24 GB).
+	if total != 8 || calls != total || lastDone != total {
+		t.Fatalf("progress calls=%d lastDone=%d total=%d, want 8/8/8", calls, lastDone, total)
+	}
+}

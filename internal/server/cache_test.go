@@ -1,0 +1,63 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", []byte("ra"))
+	c.Put("b", []byte("rb"))
+	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("rc")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if got, ok := c.Get("a"); !ok || string(got) != "ra" {
+		t.Fatalf("a = %q, %v", got, ok)
+	}
+	if got, ok := c.Get("c"); !ok || string(got) != "rc" {
+		t.Fatalf("c = %q, %v", got, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheUpdateInPlace(t *testing.T) {
+	c := newResultCache(4)
+	c.Put("k", []byte("v1"))
+	c.Put("k", []byte("v2"))
+	if got, _ := c.Get("k"); string(got) != "v2" {
+		t.Fatalf("got %q, want v2", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newResultCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%100)
+				c.Put(k, []byte(k))
+				if v, ok := c.Get(k); ok && string(v) != k {
+					t.Errorf("corrupt value for %s: %q", k, v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("cache exceeded bound: %d", c.Len())
+	}
+}

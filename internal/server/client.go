@@ -1,0 +1,143 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"chameleon/internal/sim"
+)
+
+// Client is a minimal Go client for a chamd server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets a chamd base URL (e.g. "http://localhost:8080").
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+// do runs one request and decodes the JSON response (or API error).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var e apiError
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s %s: %s (%d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit posts a job and returns its initial status (which is already
+// terminal on a cache hit).
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	return st, err
+}
+
+// Status fetches a job's current status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait polls until the job reaches a terminal state (every poll
+// interval; 0 defaults to 100ms) or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Result decodes a done job's result into out (for sim jobs, a
+// *sim.Result).
+func (c *Client) Result(ctx context.Context, id string, out any) error {
+	return c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, out)
+}
+
+// SimResult fetches a done sim job's result.
+func (c *Client) SimResult(ctx context.Context, id string) (*sim.Result, error) {
+	var r sim.Result
+	if err := c.Result(ctx, id, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Cancel cancels a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// Workloads lists the server's workload catalogue.
+func (c *Client) Workloads(ctx context.Context) ([]WorkloadInfo, error) {
+	var resp struct {
+		Workloads []WorkloadInfo `json:"workloads"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/workloads", nil, &resp)
+	return resp.Workloads, err
+}
+
+// Healthy reports whether the server answers /healthz with "ok".
+func (c *Client) Healthy(ctx context.Context) bool {
+	var resp struct {
+		Status string `json:"status"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &resp); err != nil {
+		return false
+	}
+	return resp.Status == "ok"
+}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"chameleon/internal/workload"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /v1/jobs          submit a job (JobSpec body) -> JobStatus
+//	GET    /v1/jobs          list jobs
+//	GET    /v1/jobs/{id}     job status with live progress
+//	GET    /v1/jobs/{id}/result  result JSON of a done job
+//	DELETE /v1/jobs/{id}     cancel a queued or running job
+//	GET    /v1/workloads     Table II workload catalogue
+//	GET    /healthz          liveness
+//	GET    /debug/vars       expvar metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /debug/vars", s.metrics)
+	return mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{s.Jobs()})
+}
+
+// job resolves the {id} path value, writing a 404 on a miss.
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job "+id))
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	b, err := j.Result()
+	if err != nil {
+		code := http.StatusConflict // not ready yet
+		if st := j.Status().State; st == StateFailed || st == StateCanceled {
+			code = http.StatusGone
+		}
+		writeError(w, code, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	canceled := j.Cancel(time.Now())
+	writeJSON(w, http.StatusOK, struct {
+		ID       string   `json:"id"`
+		Canceled bool     `json:"canceled"`
+		State    JobState `json:"state"`
+	}{j.ID, canceled, j.Status().State})
+}
+
+// WorkloadInfo describes one Table II workload on the wire.
+type WorkloadInfo struct {
+	Name           string  `json:"name"`
+	FootprintBytes uint64  `json:"footprint_bytes"`
+	TargetLLCMPKI  float64 `json:"target_llc_mpki"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	names := workload.Names()
+	infos := make([]WorkloadInfo, 0, len(names))
+	for _, n := range names {
+		p, err := workload.ByName(n)
+		if err != nil {
+			continue // listed names always resolve
+		}
+		infos = append(infos, WorkloadInfo{
+			Name:           p.Name,
+			FootprintBytes: p.FootprintBytes,
+			TargetLLCMPKI:  p.TargetLLCMPKI,
+		})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Workloads []WorkloadInfo `json:"workloads"`
+	}{infos})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, struct {
+		Status string `json:"status"`
+	}{status})
+}

@@ -1,0 +1,272 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chameleon/internal/sim"
+)
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+// Job lifecycle states. Queued jobs wait for a worker; running jobs
+// own one; done/failed/canceled are terminal.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Progress is the live view of a running job, fed by timeline epochs
+// (sim jobs) or completed cells (matrix jobs).
+type Progress struct {
+	// Sim jobs: the latest timeline sample.
+	Epochs            int     `json:"epochs,omitempty"`
+	Cycle             uint64  `json:"cycle,omitempty"`
+	StackedHitRate    float64 `json:"stacked_hit_rate,omitempty"`
+	CacheModeFraction float64 `json:"cache_mode_fraction,omitempty"`
+	// Matrix jobs: completed cells out of the total.
+	DoneCells  int `json:"done_cells,omitempty"`
+	TotalCells int `json:"total_cells,omitempty"`
+}
+
+// JobStatus is the wire-format snapshot of a job.
+type JobStatus struct {
+	ID          string     `json:"id"`
+	Hash        string     `json:"hash"`
+	State       JobState   `json:"state"`
+	Cached      bool       `json:"cached,omitempty"`
+	Spec        JobSpec    `json:"spec"`
+	Progress    Progress   `json:"progress,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// Job is one unit of work owned by the server. All mutable fields are
+// guarded by mu; Done is closed exactly once when the job reaches a
+// terminal state.
+type Job struct {
+	ID   string
+	Hash string
+	Spec JobSpec // normalized
+
+	mu          sync.Mutex
+	state       JobState
+	cached      bool
+	progress    Progress
+	result      []byte // JSON, set in StateDone
+	err         string
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+	cancel      context.CancelFunc
+
+	done chan struct{}
+}
+
+func newJob(id string, spec JobSpec, now time.Time) *Job {
+	return &Job{
+		ID: id, Hash: spec.Hash(), Spec: spec,
+		state: StateQueued, submittedAt: now,
+		done: make(chan struct{}),
+	}
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.ID, Hash: j.Hash, State: j.state, Cached: j.cached,
+		Spec: j.Spec, Progress: j.progress, Error: j.err,
+		SubmittedAt: j.submittedAt,
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		st.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// Result returns the job's result JSON, or an error describing why it
+// is not available.
+func (j *Job) Result() ([]byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone:
+		return j.result, nil
+	case StateFailed:
+		return nil, fmt.Errorf("job %s failed: %s", j.ID, j.err)
+	case StateCanceled:
+		return nil, fmt.Errorf("job %s was canceled", j.ID)
+	default:
+		return nil, fmt.Errorf("job %s is %s; result not ready", j.ID, j.state)
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// tryStart transitions queued → running; it fails if the job was
+// canceled while waiting in the queue. The cancel func tears down the
+// job's run context.
+func (j *Job) tryStart(now time.Time, cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.startedAt = now
+	j.cancel = cancel
+	return true
+}
+
+// finish moves the job to a terminal state. It is a no-op if the job
+// is already terminal (e.g. canceled racing completion).
+func (j *Job) finish(state JobState, result []byte, err error, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = state
+	j.result = result
+	if err != nil {
+		j.err = err.Error()
+	}
+	j.finishedAt = now
+	j.cancel = nil
+	close(j.done)
+	return true
+}
+
+// Cancel cancels a queued or running job. Queued jobs go terminal
+// immediately; running jobs get their context canceled and go
+// terminal when the simulation loop notices. It reports whether the
+// call had any effect.
+func (j *Job) Cancel(now time.Time) bool {
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateCanceled
+		j.err = "canceled while queued"
+		j.finishedAt = now
+		close(j.done)
+		j.mu.Unlock()
+		return true
+	}
+	if j.state == StateRunning && j.cancel != nil {
+		cancel := j.cancel
+		j.cancel = nil
+		j.mu.Unlock()
+		cancel()
+		return true
+	}
+	j.mu.Unlock()
+	return false
+}
+
+// setSimProgress records a timeline sample.
+func (j *Job) setSimProgress(p sim.TimelinePoint) {
+	j.mu.Lock()
+	j.progress.Epochs++
+	j.progress.Cycle = p.Cycle
+	j.progress.StackedHitRate = p.StackedHitRate
+	j.progress.CacheModeFraction = p.CacheModeFraction
+	j.mu.Unlock()
+}
+
+// setMatrixProgress records completed matrix cells.
+func (j *Job) setMatrixProgress(done, total int) {
+	j.mu.Lock()
+	j.progress.DoneCells = done
+	j.progress.TotalCells = total
+	j.mu.Unlock()
+}
+
+// markCached fills a freshly submitted job from a cache hit: it is
+// born terminal.
+func (j *Job) markCached(result []byte, now time.Time) {
+	j.mu.Lock()
+	j.cached = true
+	j.state = StateDone
+	j.result = result
+	j.finishedAt = now
+	close(j.done)
+	j.mu.Unlock()
+}
+
+// Store is the in-memory job registry.
+type Store struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+	ids  []string // submission order, for listing
+	seq  atomic.Uint64
+}
+
+// NewStore returns an empty registry.
+func NewStore() *Store {
+	return &Store{jobs: make(map[string]*Job)}
+}
+
+// NewJob registers a new queued job for the spec.
+func (s *Store) NewJob(spec JobSpec, now time.Time) *Job {
+	id := fmt.Sprintf("j%08x", s.seq.Add(1))
+	j := newJob(id, spec, now)
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.ids = append(s.ids, id)
+	s.mu.Unlock()
+	return j
+}
+
+// Get looks a job up by ID.
+func (s *Store) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List snapshots every job's status in submission order.
+func (s *Store) List() []JobStatus {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.ids))
+	for _, id := range s.ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// marshalResult encodes a result payload deterministically.
+func marshalResult(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("server: encode result: %w", err)
+	}
+	return b, nil
+}

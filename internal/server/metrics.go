@@ -1,0 +1,138 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// queueWaitBuckets are the upper bounds (milliseconds) of the queue
+// wait histogram; the final bucket is unbounded.
+var queueWaitBuckets = []int64{1, 10, 100, 1_000, 10_000}
+
+// Metrics aggregates the server's counters. All fields are
+// expvar-native so the whole struct publishes as one expvar.Map on
+// /debug/vars, but nothing is registered in the process-global expvar
+// registry (tests run many servers in one process); cmd/chamd calls
+// PublishExpvar once to expose the serving instance globally.
+type Metrics struct {
+	JobsSubmitted expvar.Int // total POST /v1/jobs accepted
+	JobsQueued    expvar.Int // gauge: currently waiting for a worker
+	JobsRunning   expvar.Int // gauge: currently executing
+	JobsDone      expvar.Int // total completed successfully
+	JobsFailed    expvar.Int // total failed (error or deadline)
+	JobsCanceled  expvar.Int // total canceled (queued or mid-run)
+	CacheHits     expvar.Int
+	CacheMisses   expvar.Int
+	SimCycles     expvar.Int // simulated cycles completed, all jobs
+
+	queueWait struct {
+		sync.Mutex
+		counts [6]int64 // one per bucket + overflow
+		totalMS  int64
+		samples  int64
+	}
+
+	start time.Time
+	once  sync.Once
+	vars  *expvar.Map
+}
+
+// NewMetrics returns a zeroed metrics set anchored at now.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// ObserveQueueWait records one job's time-to-first-worker.
+func (m *Metrics) ObserveQueueWait(d time.Duration) {
+	ms := d.Milliseconds()
+	q := &m.queueWait
+	q.Lock()
+	defer q.Unlock()
+	i := 0
+	for ; i < len(queueWaitBuckets); i++ {
+		if ms <= queueWaitBuckets[i] {
+			break
+		}
+	}
+	q.counts[i]++
+	q.totalMS += ms
+	q.samples++
+}
+
+// CacheHitRate returns hits / (hits + misses), or 0 before the first
+// lookup.
+func (m *Metrics) CacheHitRate() float64 {
+	h, ms := m.CacheHits.Value(), m.CacheMisses.Value()
+	if h+ms == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+ms)
+}
+
+// CyclesPerSecond returns simulated cycles completed per wall-clock
+// second since the server started.
+func (m *Metrics) CyclesPerSecond() float64 {
+	el := time.Since(m.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.SimCycles.Value()) / el
+}
+
+// Vars assembles (once) the expvar.Map view of the metrics.
+func (m *Metrics) Vars() *expvar.Map {
+	m.once.Do(func() {
+		mp := new(expvar.Map).Init()
+		mp.Set("jobs_submitted", &m.JobsSubmitted)
+		mp.Set("jobs_queued", &m.JobsQueued)
+		mp.Set("jobs_running", &m.JobsRunning)
+		mp.Set("jobs_done", &m.JobsDone)
+		mp.Set("jobs_failed", &m.JobsFailed)
+		mp.Set("jobs_canceled", &m.JobsCanceled)
+		mp.Set("cache_hits", &m.CacheHits)
+		mp.Set("cache_misses", &m.CacheMisses)
+		mp.Set("cache_hit_rate", expvar.Func(func() any { return m.CacheHitRate() }))
+		mp.Set("sim_cycles_total", &m.SimCycles)
+		mp.Set("sim_cycles_per_sec", expvar.Func(func() any { return m.CyclesPerSecond() }))
+		mp.Set("uptime_seconds", expvar.Func(func() any {
+			return time.Since(m.start).Seconds()
+		}))
+		mp.Set("queue_wait_ms", expvar.Func(func() any { return m.queueWaitSnapshot() }))
+		m.vars = mp
+	})
+	return m.vars
+}
+
+// queueWaitSnapshot renders the histogram as a JSON-friendly map.
+func (m *Metrics) queueWaitSnapshot() map[string]int64 {
+	q := &m.queueWait
+	q.Lock()
+	defer q.Unlock()
+	out := make(map[string]int64, len(q.counts)+2)
+	for i, b := range queueWaitBuckets {
+		out[fmt.Sprintf("le_%d", b)] = q.counts[i]
+	}
+	out["inf"] = q.counts[len(queueWaitBuckets)]
+	out["count"] = q.samples
+	out["sum_ms"] = q.totalMS
+	return out
+}
+
+// ServeHTTP serves the metrics as a /debug/vars-style JSON document.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\"chamd\": %s}\n", m.Vars().String())
+}
+
+var publishOnce sync.Once
+
+// PublishExpvar registers the metrics in the process-global expvar
+// registry under "chamd". Safe to call once per process; later calls
+// (or calls for other Metrics instances) are no-ops, because expvar
+// panics on duplicate names.
+func (m *Metrics) PublishExpvar() {
+	publishOnce.Do(func() { expvar.Publish("chamd", m.Vars()) })
+}

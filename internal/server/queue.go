@@ -1,0 +1,79 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// Queue errors surfaced to submitters.
+var (
+	// ErrQueueFull means the bounded FIFO queue is at capacity;
+	// clients should back off and retry (HTTP 503).
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining means the server is shutting down and no longer
+	// accepts work.
+	ErrDraining = errors.New("server: shutting down, not accepting jobs")
+)
+
+// pool is a bounded FIFO job queue drained by a fixed set of worker
+// goroutines. Submission never blocks: a full queue is an error the
+// API can convert into back-pressure.
+type pool struct {
+	jobs chan *Job
+	run  func(*Job)
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// newPool starts workers goroutines draining a queue of depth slots.
+func newPool(workers, depth int, run func(*Job)) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	p := &pool{jobs: make(chan *Job, depth), run: run}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				p.run(j)
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues a job FIFO, failing fast when draining or full.
+func (p *pool) Submit(j *Job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrDraining
+	}
+	select {
+	case p.jobs <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Close stops intake. Workers keep draining whatever is already
+// queued; Wait blocks until they exit.
+func (p *pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+}
+
+// Wait blocks until every worker has exited (Close must be called
+// first or Wait blocks forever).
+func (p *pool) Wait() { p.wg.Wait() }

@@ -1,0 +1,249 @@
+// Package server turns the chameleon simulator into a long-running
+// simulation-as-a-service subsystem: an HTTP JSON API over a bounded
+// worker pool with a FIFO job queue, per-job deadlines and context
+// cancellation, a content-addressed result cache, and an expvar-based
+// metrics surface. cmd/chamd is the binary that serves it.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"chameleon/internal/experiments"
+	"chameleon/internal/sim"
+)
+
+// Options configure a Server.
+type Options struct {
+	// Workers is the number of concurrent simulations (default
+	// GOMAXPROCS; simulations are CPU-bound).
+	Workers int
+	// QueueDepth bounds the FIFO queue of jobs waiting for a worker
+	// (default 256). A full queue rejects submissions with 503.
+	QueueDepth int
+	// DefaultTimeout bounds a job's run time when the spec sets none
+	// (default 10 minutes).
+	DefaultTimeout time.Duration
+	// CacheEntries bounds the content-addressed result cache
+	// (default 1024 results).
+	CacheEntries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 10 * time.Minute
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 1024
+	}
+	return o
+}
+
+// Server owns the job store, queue, cache and metrics. Create with
+// New, expose over HTTP via Handler, stop with Shutdown.
+type Server struct {
+	opts    Options
+	store   *Store
+	cache   *resultCache
+	metrics *Metrics
+	pool    *pool
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   atomic.Bool
+}
+
+// New builds and starts a server: its worker pool is live on return.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		store:   NewStore(),
+		cache:   newResultCache(opts.CacheEntries),
+		metrics: NewMetrics(),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.pool = newPool(opts.Workers, opts.QueueDepth, s.runJob)
+	return s
+}
+
+// Metrics exposes the server's counters (also served on /debug/vars).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Submit validates, deduplicates and enqueues a job. A cache hit
+// returns a job that is already done (Cached=true) without touching
+// the queue. Errors: spec validation, ErrQueueFull, ErrDraining.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	s.metrics.JobsSubmitted.Add(1)
+	now := time.Now()
+	if res, ok := s.cache.Get(norm.Hash()); ok {
+		s.metrics.CacheHits.Add(1)
+		j := s.store.NewJob(norm, now)
+		j.markCached(res, now)
+		return j, nil
+	}
+	s.metrics.CacheMisses.Add(1)
+	j := s.store.NewJob(norm, now)
+	if err := s.pool.Submit(j); err != nil {
+		j.finish(StateFailed, nil, err, time.Now())
+		s.metrics.JobsFailed.Add(1)
+		return nil, err
+	}
+	s.metrics.JobsQueued.Add(1)
+	return j, nil
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) { return s.store.Get(id) }
+
+// Jobs lists every job's status in submission order.
+func (s *Server) Jobs() []JobStatus { return s.store.List() }
+
+// Cancel cancels a queued or running job by ID.
+func (s *Server) Cancel(id string) (bool, error) {
+	j, ok := s.store.Get(id)
+	if !ok {
+		return false, fmt.Errorf("unknown job %q", id)
+	}
+	return j.Cancel(time.Now()), nil
+}
+
+// Shutdown stops intake and drains: queued jobs are canceled, running
+// jobs are given until ctx's deadline to finish, then their run
+// contexts are cut. Always waits for every worker to exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.pool.Close()
+	done := make(chan struct{})
+	go func() { s.pool.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// runJob executes one dequeued job on a worker goroutine.
+func (s *Server) runJob(j *Job) {
+	now := time.Now()
+	s.metrics.JobsQueued.Add(-1)
+	if s.draining.Load() {
+		// Drain mode: queued jobs are canceled, not started.
+		if j.Cancel(now) {
+			s.metrics.JobsCanceled.Add(1)
+		}
+		return
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, j.Spec.Timeout(s.opts.DefaultTimeout))
+	defer cancel()
+	if !j.tryStart(now, cancel) {
+		// Canceled while waiting in the queue.
+		s.metrics.JobsCanceled.Add(1)
+		return
+	}
+	s.metrics.ObserveQueueWait(now.Sub(j.Status().SubmittedAt))
+	s.metrics.JobsRunning.Add(1)
+	defer s.metrics.JobsRunning.Add(-1)
+
+	var payload any
+	var err error
+	switch j.Spec.Kind {
+	case KindSim:
+		payload, err = s.runSim(ctx, j)
+	case KindMatrix:
+		payload, err = s.runMatrix(ctx, j)
+	default:
+		err = fmt.Errorf("unknown job kind %q", j.Spec.Kind)
+	}
+	fin := time.Now()
+	if err != nil {
+		state := StateFailed
+		if errors.Is(err, context.Canceled) {
+			state = StateCanceled
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("deadline exceeded after %s: %w",
+				j.Spec.Timeout(s.opts.DefaultTimeout), err)
+		}
+		if j.finish(state, nil, err, fin) {
+			if state == StateCanceled {
+				s.metrics.JobsCanceled.Add(1)
+			} else {
+				s.metrics.JobsFailed.Add(1)
+			}
+		}
+		return
+	}
+	b, err := marshalResult(payload)
+	if err != nil {
+		if j.finish(StateFailed, nil, err, fin) {
+			s.metrics.JobsFailed.Add(1)
+		}
+		return
+	}
+	s.cache.Put(j.Hash, b)
+	if j.finish(StateDone, b, nil, fin) {
+		s.metrics.JobsDone.Add(1)
+	}
+}
+
+// runSim executes a single-simulation job.
+func (s *Server) runSim(ctx context.Context, j *Job) (any, error) {
+	o, err := j.Spec.SimOptions()
+	if err != nil {
+		return nil, err
+	}
+	o.Progress = j.setSimProgress
+	sys, err := sim.New(o)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sys.RunContext(ctx, j.Spec.Instructions)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.SimCycles.Add(int64(res.MaxCycles))
+	return res, nil
+}
+
+// matrixPayload is the wire shape of a matrix job's result.
+type matrixPayload struct {
+	// Results[policy][workload], policies keyed by wire name.
+	Results map[string]map[string]*sim.Result `json:"results"`
+}
+
+// runMatrix executes a full evaluation-matrix job.
+func (s *Server) runMatrix(ctx context.Context, j *Job) (any, error) {
+	o := j.Spec.MatrixOptions()
+	o.Progress = j.setMatrixProgress
+	m, err := experiments.RunMatrixContext(ctx, o)
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range m.Results {
+		for _, r := range rows {
+			s.metrics.SimCycles.Add(int64(r.MaxCycles))
+		}
+	}
+	return matrixPayload{Results: m.ByName()}, nil
+}

@@ -1,0 +1,209 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"chameleon/internal/config"
+	"chameleon/internal/experiments"
+	"chameleon/internal/sim"
+	"chameleon/internal/workload"
+)
+
+// Job kinds.
+const (
+	KindSim    = "sim"    // one simulation (policy × workload)
+	KindMatrix = "matrix" // the full evaluation matrix (experiments.RunMatrix)
+)
+
+// policyByName maps the wire names to policy kinds.
+var policyByName = map[string]sim.PolicyKind{
+	"flat":          sim.PolicyFlat,
+	"numa-flat":     sim.PolicyNUMAFlat,
+	"alloy":         sim.PolicyAlloy,
+	"pom":           sim.PolicyPoM,
+	"cameo":         sim.PolicyCAMEO,
+	"polymorphic":   sim.PolicyPolymorphic,
+	"chameleon":     sim.PolicyChameleon,
+	"chameleon-opt": sim.PolicyChameleonOpt,
+}
+
+// JobSpec is the wire-format description of one job. Zero fields take
+// the library defaults (Scale 256, 500k instructions, 4M warm-up,
+// seed 42). The canonical hash of a normalized spec keys the result
+// cache, so two submissions that normalize identically share one
+// simulation.
+type JobSpec struct {
+	// Kind is "sim" (default) or "matrix".
+	Kind string `json:"kind,omitempty"`
+
+	// Sim fields (Kind == "sim").
+	Policy   string `json:"policy,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	// BaselineGB is the flat baseline's unscaled capacity (policy
+	// "flat" only; default 24).
+	BaselineGB uint64 `json:"baseline_gb,omitempty"`
+	// Ratio overrides the stacked:off-chip capacity ratio (3, 5, 7).
+	Ratio int `json:"ratio,omitempty"`
+	// TimelineEpochCycles sets the progress-sampling epoch in
+	// simulated cycles (default 1,000,000).
+	TimelineEpochCycles uint64 `json:"timeline_epoch_cycles,omitempty"`
+
+	// Matrix fields (Kind == "matrix").
+	Workloads   []string `json:"workloads,omitempty"`
+	Parallelism int      `json:"parallelism,omitempty"`
+
+	// Shared simulation parameters.
+	Scale        uint64 `json:"scale,omitempty"`
+	Instructions uint64 `json:"instructions,omitempty"`
+	Warmup       uint64 `json:"warmup,omitempty"` // 0 = default 4M; use 1 to disable
+	Seed         uint64 `json:"seed,omitempty"`
+
+	// TimeoutMS bounds the job's run time once started (wall clock).
+	// 0 takes the server default. Excluded from the cache hash: the
+	// deadline does not change the result, only whether one arrives.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Normalize fills defaults and validates the spec. The returned spec
+// is canonical: specs that normalize equal produce equal hashes.
+func (s JobSpec) Normalize() (JobSpec, error) {
+	if s.Kind == "" {
+		s.Kind = KindSim
+	}
+	if s.Scale == 0 {
+		s.Scale = 256
+	}
+	if s.Scale&(s.Scale-1) != 0 {
+		return s, fmt.Errorf("scale must be a power of two, got %d", s.Scale)
+	}
+	if s.Instructions == 0 {
+		s.Instructions = 500_000
+	}
+	if s.Warmup == 0 {
+		s.Warmup = 4_000_000
+	}
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.TimeoutMS < 0 {
+		return s, fmt.Errorf("timeout_ms must be non-negative, got %d", s.TimeoutMS)
+	}
+	switch s.Kind {
+	case KindSim:
+		if s.Policy == "" {
+			return s, fmt.Errorf("sim job requires a policy (one of %s)", policyNames())
+		}
+		if _, ok := policyByName[s.Policy]; !ok {
+			return s, fmt.Errorf("unknown policy %q (one of %s)", s.Policy, policyNames())
+		}
+		if s.Workload == "" {
+			return s, fmt.Errorf("sim job requires a workload (see GET /v1/workloads)")
+		}
+		if _, err := workload.ByName(s.Workload); err != nil {
+			return s, err
+		}
+		if s.Policy == "flat" && s.BaselineGB == 0 {
+			s.BaselineGB = 24
+		}
+		if s.Policy != "flat" {
+			s.BaselineGB = 0
+		}
+		if s.TimelineEpochCycles == 0 {
+			s.TimelineEpochCycles = 1_000_000
+		}
+		s.Workloads = nil
+		s.Parallelism = 0
+	case KindMatrix:
+		if len(s.Workloads) == 0 {
+			s.Workloads = workload.Names()
+		}
+		for _, w := range s.Workloads {
+			if _, err := workload.ByName(w); err != nil {
+				return s, err
+			}
+		}
+		// Parallelism shapes scheduling, not results; it is kept in
+		// the spec (a caller may bound a job's CPU use) but clamped.
+		if s.Parallelism < 0 {
+			s.Parallelism = 0
+		}
+		s.Policy, s.Workload, s.BaselineGB, s.Ratio, s.TimelineEpochCycles = "", "", 0, 0, 0
+	default:
+		return s, fmt.Errorf("unknown job kind %q (sim or matrix)", s.Kind)
+	}
+	return s, nil
+}
+
+// Hash returns the canonical content address of the spec: a SHA-256
+// over the normalized spec minus scheduling-only fields. Two jobs with
+// equal hashes are guaranteed to produce identical results (the
+// simulator is deterministic in its options and seed).
+func (s JobSpec) Hash() string {
+	s.TimeoutMS = 0
+	s.Parallelism = 0
+	b, err := json.Marshal(s) // struct marshal: fixed field order, canonical
+	if err != nil {
+		// JobSpec contains only plain data; Marshal cannot fail.
+		panic(fmt.Sprintf("server: marshal spec: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// SimOptions converts a normalized sim spec into simulator options.
+func (s JobSpec) SimOptions() (sim.Options, error) {
+	cfg := config.Default(s.Scale)
+	if s.Ratio > 0 {
+		var err error
+		if cfg, err = cfg.WithRatio(s.Ratio); err != nil {
+			return sim.Options{}, err
+		}
+	}
+	prof, err := workload.ByName(s.Workload)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	o := sim.Options{
+		Config:              cfg,
+		Policy:              policyByName[s.Policy],
+		Workload:            prof.Scale(s.Scale),
+		Seed:                s.Seed,
+		WarmupInstructions:  s.Warmup,
+		TimelineEpochCycles: s.TimelineEpochCycles,
+	}
+	if o.Policy == sim.PolicyFlat {
+		o.BaselineBytes = s.BaselineGB * config.GB / s.Scale
+	}
+	return o, nil
+}
+
+// MatrixOptions converts a normalized matrix spec into experiment
+// options.
+func (s JobSpec) MatrixOptions() experiments.Options {
+	return experiments.Options{
+		Scale:        s.Scale,
+		Instructions: s.Instructions,
+		Warmup:       s.Warmup,
+		Seed:         s.Seed,
+		Workloads:    s.Workloads,
+		Parallelism:  s.Parallelism,
+	}
+}
+
+// Timeout returns the job's wall-clock budget, clamped to fallback
+// when unset.
+func (s JobSpec) Timeout(fallback time.Duration) time.Duration {
+	if s.TimeoutMS <= 0 {
+		return fallback
+	}
+	return time.Duration(s.TimeoutMS) * time.Millisecond
+}
+
+// policyNames lists the accepted policy names for error messages.
+func policyNames() string {
+	return "flat, numa-flat, alloy, pom, cameo, polymorphic, chameleon, chameleon-opt"
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -49,13 +50,31 @@ type Result struct {
 }
 
 // Run executes instrPerCore instructions on every core and returns the
-// aggregated results. It may be called once per System.
+// aggregated results. It may be called once per System; a second call
+// returns an error because caches, remapping tables and OS state carry
+// the first run's history.
 func (s *System) Run(instrPerCore uint64) (*Result, error) {
+	return s.RunContext(context.Background(), instrPerCore)
+}
+
+// RunContext is Run with cancellation: the context is checked at epoch
+// boundaries of the simulation loop (every few thousand simulated
+// references), so a deadline or an explicit cancel stops a runaway
+// simulation promptly. The returned error wraps ctx.Err() when the run
+// was cut short.
+func (s *System) RunContext(ctx context.Context, instrPerCore uint64) (*Result, error) {
 	if instrPerCore == 0 {
 		return nil, fmt.Errorf("sim: instruction budget must be positive")
 	}
+	if s.ran {
+		return nil, fmt.Errorf("sim: Run may be called only once per System (construct a new System for another run)")
+	}
+	s.ran = true
+	s.runCtx = ctx
 	if !s.opts.SkipPrefault {
-		s.prefault()
+		if err := s.prefault(ctx); err != nil {
+			return nil, err
+		}
 		if s.auto != nil {
 			// The init sweep is not application heat.
 			s.auto.ResetWindow()
@@ -67,7 +86,9 @@ func (s *System) Run(instrPerCore uint64) (*Result, error) {
 		if ff, ok := s.ctrl.(fastForwarder); ok {
 			ff.SetFastForward(true)
 		}
-		s.execute(s.opts.WarmupInstructions)
+		if err := s.execute(s.opts.WarmupInstructions); err != nil {
+			return nil, err
+		}
 		if ff, ok := s.ctrl.(fastForwarder); ok {
 			ff.SetFastForward(false)
 		}
@@ -92,7 +113,9 @@ func (s *System) Run(instrPerCore uint64) (*Result, error) {
 	if s.opts.TimelineEpochCycles > 0 {
 		s.nextEpoch = t0 + s.opts.TimelineEpochCycles
 	}
-	s.execute(instrPerCore)
+	if err := s.execute(instrPerCore); err != nil {
+		return nil, err
+	}
 	return s.collect(start, instr0, faults0), nil
 }
 
@@ -110,6 +133,9 @@ func (s *System) sampleTimeline(now uint64) {
 	for s.nextEpoch <= now {
 		s.nextEpoch += s.opts.TimelineEpochCycles
 	}
+	if s.opts.Progress != nil {
+		s.opts.Progress(p)
+	}
 }
 
 // fastForwarder is implemented by controllers that can warm their
@@ -120,7 +146,7 @@ type fastForwarder interface{ SetFastForward(bool) }
 // fast-forwards to the region of interest with memory resident).
 // Processes are interleaved in chunks so their pages mix in physical
 // memory, as they would after a real ramp-up.
-func (s *System) prefault() {
+func (s *System) prefault(ctx context.Context) error {
 	if ff, ok := s.ctrl.(fastForwarder); ok {
 		ff.SetFastForward(true)
 		defer ff.SetFastForward(false)
@@ -131,6 +157,9 @@ func (s *System) prefault() {
 		maxFootprint = max(maxFootprint, c.stream.Profile().FootprintBytes)
 	}
 	for off := uint64(0); off < maxFootprint; off += chunk {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("sim: run canceled during prefault: %w", err)
+		}
 		for _, c := range s.cores {
 			fp := c.stream.Profile().FootprintBytes
 			if off >= fp {
@@ -139,6 +168,7 @@ func (s *System) prefault() {
 			s.os.Map(c.proc, off, min(chunk, fp-off), c.time)
 		}
 	}
+	return nil
 }
 
 func (s *System) resetStats() {
@@ -156,13 +186,27 @@ func (s *System) resetStats() {
 	}
 }
 
-// execute runs every core for budget further instructions.
-func (s *System) execute(budget uint64) {
+// ctxCheckInterval is how many simulated references execute between
+// RunContext cancellation checks. Coarse enough to stay off the hot
+// path, fine enough that a cancel lands within microseconds of wall
+// time.
+const ctxCheckInterval = 4096
+
+// execute runs every core for budget further instructions. It returns
+// a non-nil error only when the run context is canceled.
+func (s *System) execute(budget uint64) error {
 	for _, c := range s.cores {
 		c.budget = c.instr + budget
 		c.done = false
 	}
+	steps := 0
 	for {
+		if steps++; steps >= ctxCheckInterval {
+			steps = 0
+			if err := s.runCtx.Err(); err != nil {
+				return fmt.Errorf("sim: run canceled: %w", err)
+			}
+		}
 		// Advance the core with the smallest local clock.
 		var next *core
 		for _, c := range s.cores {
@@ -174,7 +218,7 @@ func (s *System) execute(budget uint64) {
 			}
 		}
 		if next == nil {
-			return
+			return nil
 		}
 		s.step(next)
 		if next.instr >= next.budget {

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"chameleon/internal/config"
+	"chameleon/internal/workload"
+)
+
+func testOptions(t *testing.T) Options {
+	t.Helper()
+	prof, err := workload.ByName("bwaves")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Options{
+		Config:   config.Default(1024),
+		Policy:   PolicyChameleonOpt,
+		Workload: prof.Scale(1024),
+		Seed:     7,
+	}
+}
+
+func TestRunOnlyOnce(t *testing.T) {
+	sys, err := New(testOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A zero budget is rejected before the run starts and must not
+	// consume the single allowed run.
+	if _, err := sys.Run(0); err == nil {
+		t.Fatal("zero budget should fail")
+	}
+	if _, err := sys.Run(10_000); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if _, err := sys.Run(10_000); err == nil {
+		t.Fatal("second Run on the same System should fail")
+	}
+}
+
+func TestRunContextCanceledBeforeStart(t *testing.T) {
+	sys, err := New(testOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.RunContext(ctx, 1_000_000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel from a progress callback a few epochs in, so the cancel
+	// provably lands while the simulation loop is executing.
+	o := testOptions(t)
+	o.TimelineEpochCycles = 50_000
+	o.Progress = func(TimelinePoint) { cancel() }
+	sys, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunContext(ctx, 1<<40); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	o := testOptions(t)
+	o.TimelineEpochCycles = 20_000
+	var points int
+	o.Progress = func(TimelinePoint) { points++ }
+	sys, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points == 0 {
+		t.Fatal("progress callback never fired")
+	}
+	if points != len(res.Timeline) {
+		t.Fatalf("progress fired %d times, timeline has %d points", points, len(res.Timeline))
+	}
+}

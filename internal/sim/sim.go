@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -101,6 +102,11 @@ type Options struct {
 	PhaseEveryInstructions uint64
 	// Seed makes the run deterministic.
 	Seed uint64
+	// Progress, when non-nil, receives every TimelinePoint as it is
+	// sampled during the measured run (requires TimelineEpochCycles).
+	// It is called from the simulation goroutine; long-running or
+	// blocking callbacks slow the simulation down.
+	Progress func(TimelinePoint) `json:"-"`
 }
 
 type core struct {
@@ -144,6 +150,13 @@ type System struct {
 	cores []*core
 
 	baseCPIx1000 uint64
+
+	// ran latches after the first Run/RunContext call: the caches,
+	// remapping tables and OS state carry that run's history, so a
+	// second run on the same System would silently measure a warmed,
+	// partially-consumed machine.
+	ran    bool
+	runCtx context.Context
 
 	nextEpoch uint64
 	timeline  []TimelinePoint
