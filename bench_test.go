@@ -302,7 +302,7 @@ func BenchmarkAblationClearing(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			cfg := chameleon.DefaultConfig(256)
-			cfg.MemSys.ClearOnModeSwith = clearing
+			cfg.MemSys.ClearOnModeSwitch = clearing
 			var res *chameleon.Result
 			for i := 0; i < b.N; i++ {
 				res = runPolicy(b, cfg, chameleon.PolicyChameleonOpt, "bwaves")

@@ -42,6 +42,7 @@ import (
 	"chameleon/internal/dram"
 	"chameleon/internal/experiments"
 	"chameleon/internal/osmodel"
+	"chameleon/internal/policy"
 	"chameleon/internal/server"
 	"chameleon/internal/sim"
 	"chameleon/internal/trace"
@@ -86,6 +87,19 @@ const (
 	// PolicyChameleonOpt adds proactive segment remapping.
 	PolicyChameleonOpt = sim.PolicyChameleonOpt
 )
+
+// Policies lists every registered memory-system design name, sorted.
+// Any of them is a valid Options.Policy; designs registered by client
+// code (policy.Register) appear here too.
+func Policies() []string { return policy.Names() }
+
+// PolicyNeedsBaseline reports whether the named design is a flat DDR
+// baseline that requires Options.BaselineBytes. Unknown names return
+// false; New reports the authoritative error.
+func PolicyNeedsBaseline(name string) bool {
+	d, err := policy.Lookup(name)
+	return err == nil && d.RequiresBaseline
+}
 
 // Options configure one simulation run.
 type Options = sim.Options

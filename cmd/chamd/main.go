@@ -41,12 +41,12 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		depth    = flag.Int("queue-depth", 256, "bounded job-queue depth")
-		timeout  = flag.Duration("job-timeout", 10*time.Minute, "default per-job deadline")
-		cacheN   = flag.Int("cache-entries", 1024, "result-cache capacity")
-		grace    = flag.Duration("shutdown-grace", 30*time.Second, "drain budget for in-flight jobs")
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		depth   = flag.Int("queue-depth", 256, "bounded job-queue depth")
+		timeout = flag.Duration("job-timeout", 10*time.Minute, "default per-job deadline")
+		cacheN  = flag.Int("cache-entries", 1024, "result-cache capacity")
+		grace   = flag.Duration("shutdown-grace", 30*time.Second, "drain budget for in-flight jobs")
 	)
 	flag.Parse()
 

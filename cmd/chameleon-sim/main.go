@@ -19,20 +19,10 @@ import (
 	"chameleon/internal/osmodel"
 )
 
-var policies = map[string]chameleon.Policy{
-	"flat":          chameleon.PolicyFlat,
-	"numa-flat":     chameleon.PolicyNUMAFlat,
-	"alloy":         chameleon.PolicyAlloy,
-	"pom":           chameleon.PolicyPoM,
-	"cameo":         chameleon.PolicyCAMEO,
-	"polymorphic":   chameleon.PolicyPolymorphic,
-	"chameleon":     chameleon.PolicyChameleon,
-	"chameleon-opt": chameleon.PolicyChameleonOpt,
-}
-
 func main() {
 	var (
-		policyName = flag.String("policy", "chameleon-opt", "memory-system design (flat, numa-flat, alloy, pom, cameo, polymorphic, chameleon, chameleon-opt)")
+		policyName = flag.String("policy", "chameleon-opt",
+			"memory-system design ("+strings.Join(chameleon.Policies(), ", ")+")")
 		wlName     = flag.String("workload", "bwaves", "Table II workload name")
 		scale      = flag.Uint64("scale", 256, "capacity scale divisor (1 = full-size 4+20 GB)")
 		instr      = flag.Uint64("instr", 500_000, "measured instructions per core")
@@ -44,6 +34,7 @@ func main() {
 		energy     = flag.Bool("energy", false, "also report DRAM energy and bandwidth utilisation")
 		mix        = flag.String("mix", "", "comma-separated workloads, one per core round-robin (overrides -workload)")
 		groupAware = flag.Bool("group-aware", false, "use the group-aware OS allocator (paper SVI-G)")
+		counters   = flag.Bool("counters", false, "dump every simulation counter (the unified stats snapshot)")
 	)
 	flag.Parse()
 
@@ -52,6 +43,7 @@ func main() {
 		instr: *instr, warmup: *warmup, ratio: *ratio, seed: *seed,
 		baselineGB: *baselineGB, autonuma: *autonuma,
 		energy: *energy, mix: *mix, groupAware: *groupAware,
+		counters: *counters,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "chameleon-sim:", err)
 		os.Exit(1)
@@ -67,13 +59,13 @@ type runCfg struct {
 	energy               bool
 	mix                  string
 	groupAware           bool
+	counters             bool
 }
 
 func run(rc runCfg) error {
-	pk, ok := policies[rc.policyName]
-	if !ok {
-		return fmt.Errorf("unknown policy %q", rc.policyName)
-	}
+	// Any registered design name is accepted; chameleon.New reports
+	// unknown names with the full valid set.
+	pk := chameleon.Policy(rc.policyName)
 	prof, err := chameleon.Workload(rc.wlName)
 	if err != nil {
 		return err
@@ -100,7 +92,7 @@ func run(rc runCfg) error {
 			opts.Mix = append(opts.Mix, p.Scale(rc.scale))
 		}
 	}
-	if pk == chameleon.PolicyFlat {
+	if chameleon.PolicyNeedsBaseline(rc.policyName) {
 		opts.BaselineBytes = rc.baselineGB * config.GB / rc.scale
 	}
 	if rc.autonuma > 0 {
@@ -152,6 +144,13 @@ func run(rc runCfg) error {
 	fmt.Println("\nper-core results:")
 	for i, c := range res.Cores {
 		fmt.Printf("  core %2d: IPC %.4f  MPKI %6.2f  fault cycles %d\n", i, c.IPC, c.MPKI, c.FaultCycles)
+	}
+	if rc.counters {
+		snap := res.Snapshot()
+		fmt.Println("\ncounters:")
+		for _, k := range snap.Keys() {
+			fmt.Printf("  %-28s %g\n", k, snap[k])
+		}
 	}
 	return nil
 }

@@ -26,15 +26,20 @@ func main() {
 		policy   chameleon.Policy
 		baseline uint64 // GB for flat systems
 	}
-	entries := []entry{
-		{"baseline 20GB DDR3", chameleon.PolicyFlat, 20},
-		{"baseline 24GB DDR3", chameleon.PolicyFlat, 24},
-		{"first-touch NUMA", chameleon.PolicyNUMAFlat, 0},
-		{"alloy cache", chameleon.PolicyAlloy, 0},
-		{"PoM", chameleon.PolicyPoM, 0},
-		{"polymorphic", chameleon.PolicyPolymorphic, 0},
-		{"chameleon", chameleon.PolicyChameleon, 0},
-		{"chameleon-opt", chameleon.PolicyChameleonOpt, 0},
+	// The registry is the catalogue: every registered design runs, with
+	// flat baselines expanded to the paper's 20 GB and 24 GB capacities.
+	// The 20 GB DDR3 baseline is pinned first as the normalisation base.
+	entries := []entry{{"baseline 20GB DDR3", chameleon.PolicyFlat, 20}}
+	for _, name := range chameleon.Policies() {
+		if chameleon.PolicyNeedsBaseline(name) {
+			if name == string(chameleon.PolicyFlat) {
+				entries = append(entries, entry{"baseline 24GB DDR3", chameleon.PolicyFlat, 24})
+			} else {
+				entries = append(entries, entry{name, chameleon.Policy(name), 24})
+			}
+			continue
+		}
+		entries = append(entries, entry{name, chameleon.Policy(name), 0})
 	}
 
 	var base float64

@@ -5,7 +5,11 @@
 // by the heterogeneous memory system.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"chameleon/internal/stats"
+)
 
 // Victim describes a line evicted by a fill.
 type Victim struct {
@@ -27,6 +31,17 @@ func (s Stats) MissRate() float64 {
 		return 0
 	}
 	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Snapshot flattens the stats into the unified metric shape.
+func (s Stats) Snapshot() stats.Snapshot {
+	return stats.Snapshot{
+		"accesses":   float64(s.Accesses),
+		"hits":       float64(s.Hits),
+		"misses":     float64(s.Misses),
+		"writebacks": float64(s.Writebacks),
+		"miss_rate":  s.MissRate(),
+	}
 }
 
 type line struct {
@@ -81,6 +96,9 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // ResetStats clears the statistics without flushing contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Snapshot implements stats.Source (Name is the cache level's name).
+func (c *Cache) Snapshot() stats.Snapshot { return c.stats.Snapshot() }
 
 func (c *Cache) set(addr uint64) (base int, tag uint64) {
 	blk := addr >> c.lineShift

@@ -7,6 +7,7 @@
 package config
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 )
@@ -78,10 +79,32 @@ type MemSysConfig struct {
 	// accumulates across repeated visits (persistently hot data) are
 	// promoted, which is what makes swaps profitable under bandwidth
 	// saturation.
-	SwapThreshold    int
-	SRTCacheEntries  int  // on-die SRT cache entries (0 disables modelling)
-	CacheLineBytes   int  // transfer granularity (64 B)
-	ClearOnModeSwith bool // security clearing on cache<->PoM transitions
+	SwapThreshold     int
+	SRTCacheEntries   int  // on-die SRT cache entries (0 disables modelling)
+	CacheLineBytes    int  // transfer granularity (64 B)
+	ClearOnModeSwitch bool // security clearing on cache<->PoM transitions
+}
+
+// UnmarshalJSON accepts both the current field names and the
+// pre-rename "ClearOnModeSwith" key (deprecated; kept for one release
+// so serialized configurations keep loading).
+func (m *MemSysConfig) UnmarshalJSON(b []byte) error {
+	type plain MemSysConfig // plain drops the method, avoiding recursion
+	var p plain
+	if err := json.Unmarshal(b, &p); err != nil {
+		return err
+	}
+	var legacy struct {
+		ClearOnModeSwith *bool
+	}
+	if err := json.Unmarshal(b, &legacy); err != nil {
+		return err
+	}
+	*m = MemSysConfig(p)
+	if legacy.ClearOnModeSwith != nil {
+		m.ClearOnModeSwitch = *legacy.ClearOnModeSwith
+	}
+	return nil
 }
 
 // Config is the complete simulated system configuration.
@@ -165,11 +188,11 @@ func Default(scale uint64) Config {
 			PageFaultCycles: 100_000,
 		},
 		MemSys: MemSysConfig{
-			SegmentBytes:     2 * KB,
-			SwapThreshold:    8,
-			SRTCacheEntries:  32 * 1024,
-			CacheLineBytes:   64,
-			ClearOnModeSwith: true,
+			SegmentBytes:      2 * KB,
+			SwapThreshold:     8,
+			SRTCacheEntries:   32 * 1024,
+			CacheLineBytes:    64,
+			ClearOnModeSwitch: true,
 		},
 		Scale: scale,
 	}

@@ -1,6 +1,10 @@
 package config
 
-import "testing"
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
 
 func TestDefaultIsValid(t *testing.T) {
 	for _, scale := range []uint64{1, 2, 8, 64, 256} {
@@ -116,5 +120,42 @@ func TestPeakBandwidth(t *testing.T) {
 	// 2 channels * 16 B * 2 (DDR) * 1.6e9 = 102.4 GB/s
 	if got := d.PeakBandwidth(); got != 102.4e9 {
 		t.Errorf("PeakBandwidth = %v, want 102.4e9", got)
+	}
+}
+
+func TestClearOnModeSwitchJSON(t *testing.T) {
+	// Canonical key.
+	var m MemSysConfig
+	if err := json.Unmarshal([]byte(`{"ClearOnModeSwitch": true}`), &m); err != nil {
+		t.Fatal(err)
+	}
+	if !m.ClearOnModeSwitch {
+		t.Error("canonical key not decoded")
+	}
+	// The pre-rename key (a long-lived typo) still decodes for one
+	// release so stored specs keep working.
+	m = MemSysConfig{}
+	if err := json.Unmarshal([]byte(`{"ClearOnModeSwith": true}`), &m); err != nil {
+		t.Fatal(err)
+	}
+	if !m.ClearOnModeSwitch {
+		t.Error("legacy ClearOnModeSwith key not honoured")
+	}
+	// When both keys appear the legacy one wins: its presence is
+	// explicit intent from a pre-rename writer.
+	m = MemSysConfig{}
+	if err := json.Unmarshal([]byte(`{"ClearOnModeSwitch": false, "ClearOnModeSwith": true}`), &m); err != nil {
+		t.Fatal(err)
+	}
+	if !m.ClearOnModeSwitch {
+		t.Error("legacy key should win only when it is present (explicit intent)")
+	}
+	// Round-trip: Marshal emits only the canonical key.
+	b, err := json.Marshal(Default(256).MemSys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "Swith") {
+		t.Errorf("marshal leaked the legacy key: %s", b)
 	}
 }

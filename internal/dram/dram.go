@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"chameleon/internal/config"
+	"chameleon/internal/stats"
 )
 
 // Stats aggregates device activity.
@@ -31,6 +32,20 @@ type Stats struct {
 	BytesMoved   uint64
 	RefreshWaits uint64 // accesses delayed by an in-progress refresh
 	BusWaits     uint64 // accesses delayed by data-bus contention
+}
+
+// Snapshot flattens the stats into the unified metric shape.
+func (s Stats) Snapshot() stats.Snapshot {
+	return stats.Snapshot{
+		"reads":         float64(s.Reads),
+		"writes":        float64(s.Writes),
+		"row_hits":      float64(s.RowHits),
+		"row_misses":    float64(s.RowMisses),
+		"row_conflicts": float64(s.RowConflicts),
+		"bytes_moved":   float64(s.BytesMoved),
+		"refresh_waits": float64(s.RefreshWaits),
+		"bus_waits":     float64(s.BusWaits),
+	}
 }
 
 type bank struct {
@@ -120,6 +135,9 @@ func (d *Device) Capacity() uint64 { return d.cfg.CapacityBytes }
 
 // Stats returns a copy of the accumulated statistics.
 func (d *Device) Stats() Stats { return d.stats }
+
+// Snapshot implements stats.Source (Name is the device's config name).
+func (d *Device) Snapshot() stats.Snapshot { return d.stats.Snapshot() }
 
 // ResetStats clears the accumulated statistics (device timing state is
 // preserved).

@@ -37,6 +37,10 @@ type Options struct {
 	Seed uint64
 	// Workloads restricts the workload set (nil = all of Table II).
 	Workloads []string
+	// Policies restricts the policy set (nil = the paper's standard
+	// evaluation designs). Any name registered with policy.Register is
+	// valid; "flat" expands to the 20 GB and 24 GB DDR baselines.
+	Policies []sim.PolicyKind
 	// Parallelism bounds concurrent simulations. Zero and negative
 	// values default to GOMAXPROCS (a negative value would otherwise
 	// panic constructing the semaphore channel).
@@ -124,9 +128,9 @@ type job struct {
 	opts     sim.Options
 }
 
-// Key returns the map key used for a policy; the 20 GB flat baseline is
-// stored under PolicyFlat, the 24 GB one under policyFlat24.
-const policyFlat24 sim.PolicyKind = 1000
+// The 20 GB flat baseline is stored under PolicyFlat, the 24 GB one
+// under policyFlat24 (a matrix-only key, not a registered design).
+const policyFlat24 sim.PolicyKind = "flat-24"
 
 // RunMatrix executes every policy on every selected workload, reusing
 // one run across all the figures that need it (15-20 and 22).
@@ -142,13 +146,18 @@ func RunMatrixContext(ctx context.Context, o Options) (*Matrix, error) {
 	o = o.Defaults()
 	cfg := config.Default(o.Scale)
 
+	pols := o.Policies
+	if len(pols) == 0 {
+		pols = standardPolicies()
+	}
+	matrixPols := make([]sim.PolicyKind, 0, len(pols)+1)
 	var jobs []job
 	for _, name := range o.Workloads {
 		prof, err := o.profile(name)
 		if err != nil {
 			return nil, err
 		}
-		for _, pk := range standardPolicies() {
+		for _, pk := range pols {
 			so := sim.Options{Config: cfg, Policy: pk, Workload: prof}
 			switch pk {
 			case sim.PolicyFlat:
@@ -163,8 +172,14 @@ func RunMatrixContext(ctx context.Context, o Options) (*Matrix, error) {
 			}
 		}
 	}
+	for _, pk := range pols {
+		matrixPols = append(matrixPols, pk)
+		if pk == sim.PolicyFlat {
+			matrixPols = append(matrixPols, policyFlat24)
+		}
+	}
 
-	m := &Matrix{Opts: o, Policies: append(standardPolicies(), policyFlat24),
+	m := &Matrix{Opts: o, Policies: matrixPols,
 		Results: map[sim.PolicyKind]map[string]*sim.Result{}}
 	var mu sync.Mutex
 	var errs []error
@@ -212,14 +227,10 @@ func RunMatrixContext(ctx context.Context, o Options) (*Matrix, error) {
 // PolicyKey returns the stable wire name for a matrix policy column;
 // the two flat baselines are distinguished by capacity.
 func PolicyKey(pk sim.PolicyKind) string {
-	switch pk {
-	case sim.PolicyFlat:
+	if pk == sim.PolicyFlat {
 		return "flat-20"
-	case policyFlat24:
-		return "flat-24"
-	default:
-		return pk.String()
 	}
+	return pk.String()
 }
 
 // ByName re-keys the results by policy wire name, for JSON consumers
@@ -244,4 +255,16 @@ func (m *Matrix) get(p sim.PolicyKind, wl string) *sim.Result {
 		panic(fmt.Sprintf("experiments: missing result for %v/%s", p, wl))
 	}
 	return r
+}
+
+// Metric fetches one scalar from a cell's unified stats snapshot (see
+// sim.Result.Snapshot for the key namespace). An unknown key is a
+// programming error in a figure emitter and panics.
+func (m *Matrix) Metric(p sim.PolicyKind, wl, key string) float64 {
+	snap := m.get(p, wl).Snapshot()
+	v, ok := snap[key]
+	if !ok {
+		panic(fmt.Sprintf("experiments: no metric %q in %v/%s snapshot", key, p, wl))
+	}
+	return v
 }

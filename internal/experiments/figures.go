@@ -19,7 +19,7 @@ func Fig15(m *Matrix) *stats.Table {
 	for _, wl := range m.Opts.Workloads {
 		row := []any{wl}
 		for i, k := range kinds {
-			hr := m.get(k, wl).StackedHitRate * 100
+			hr := m.Metric(k, wl, "stacked_hit_rate") * 100
 			sums[i] += hr
 			row = append(row, hr)
 		}
@@ -40,8 +40,8 @@ func Fig16(m *Matrix) *stats.Table {
 	t := stats.NewTable("workload", "chameleon-cache%", "chameleon-opt-cache%")
 	var s1, s2 float64
 	for _, wl := range m.Opts.Workloads {
-		c := m.get(sim.PolicyChameleon, wl).CacheModeFraction * 100
-		o := m.get(sim.PolicyChameleonOpt, wl).CacheModeFraction * 100
+		c := m.Metric(sim.PolicyChameleon, wl, "cache_mode_fraction") * 100
+		o := m.Metric(sim.PolicyChameleonOpt, wl, "cache_mode_fraction") * 100
 		s1 += c
 		s2 += o
 		t.AddRow(wl, c, o)
@@ -57,9 +57,9 @@ func Fig17(m *Matrix) *stats.Table {
 	t := stats.NewTable("workload", "pom", "chameleon", "chameleon-opt")
 	var s1, s2 float64
 	for _, wl := range m.Opts.Workloads {
-		base := float64(m.get(sim.PolicyPoM, wl).Ctrl.Swaps)
-		c := float64(m.get(sim.PolicyChameleon, wl).Ctrl.Swaps)
-		o := float64(m.get(sim.PolicyChameleonOpt, wl).Ctrl.Swaps)
+		base := m.Metric(sim.PolicyPoM, wl, "ctrl.swaps")
+		c := m.Metric(sim.PolicyChameleon, wl, "ctrl.swaps")
+		o := m.Metric(sim.PolicyChameleonOpt, wl, "ctrl.swaps")
 		nc, no := 1.0, 1.0
 		if base > 0 {
 			nc, no = c/base, o/base
@@ -82,10 +82,10 @@ func Fig18(m *Matrix) *stats.Table {
 	kinds := []sim.PolicyKind{policyFlat24, sim.PolicyAlloy, sim.PolicyPoM, sim.PolicyChameleon, sim.PolicyChameleonOpt}
 	geos := make([][]float64, len(kinds))
 	for _, wl := range m.Opts.Workloads {
-		base := m.get(sim.PolicyFlat, wl).GeoMeanIPC
+		base := m.Metric(sim.PolicyFlat, wl, "ipc_geomean")
 		row := []any{wl, 1.0}
 		for i, k := range kinds {
-			v := m.get(k, wl).GeoMeanIPC / base
+			v := m.Metric(k, wl, "ipc_geomean") / base
 			geos[i] = append(geos[i], v)
 			row = append(row, v)
 		}
@@ -108,7 +108,7 @@ func Fig19(m *Matrix) *stats.Table {
 	for _, wl := range m.Opts.Workloads {
 		row := []any{wl}
 		for i, k := range kinds {
-			v := m.get(k, wl).AMAT
+			v := m.Metric(k, wl, "amat_cycles")
 			geos[i] = append(geos[i], v)
 			row = append(row, v)
 		}
@@ -137,17 +137,17 @@ func Fig20(m *Matrix, auto map[float64]map[string]*sim.Result) *stats.Table {
 		geoCols[col] = append(geoCols[col], v)
 	}
 	for _, wl := range m.Opts.Workloads {
-		base := m.get(sim.PolicyFlat, wl).GeoMeanIPC
+		base := m.Metric(sim.PolicyFlat, wl, "ipc_geomean")
 		row := []any{wl, 1.0}
 		col := 0
 		for _, v := range []float64{
-			m.get(policyFlat24, wl).GeoMeanIPC / base,
-			m.get(sim.PolicyNUMAFlat, wl).GeoMeanIPC / base,
+			m.Metric(policyFlat24, wl, "ipc_geomean") / base,
+			m.Metric(sim.PolicyNUMAFlat, wl, "ipc_geomean") / base,
 			auto[0.7][wl].GeoMeanIPC / base,
 			auto[0.8][wl].GeoMeanIPC / base,
 			auto[0.9][wl].GeoMeanIPC / base,
-			m.get(sim.PolicyChameleon, wl).GeoMeanIPC / base,
-			m.get(sim.PolicyChameleonOpt, wl).GeoMeanIPC / base,
+			m.Metric(sim.PolicyChameleon, wl, "ipc_geomean") / base,
+			m.Metric(sim.PolicyChameleonOpt, wl, "ipc_geomean") / base,
 		} {
 			row = append(row, v)
 			addGeo(col, v)
@@ -171,10 +171,10 @@ func Fig22(m *Matrix) *stats.Table {
 	kinds := []sim.PolicyKind{policyFlat24, sim.PolicyPolymorphic, sim.PolicyChameleon, sim.PolicyChameleonOpt}
 	geos := make([][]float64, len(kinds))
 	for _, wl := range m.Opts.Workloads {
-		base := m.get(sim.PolicyFlat, wl).GeoMeanIPC
+		base := m.Metric(sim.PolicyFlat, wl, "ipc_geomean")
 		row := []any{wl, 1.0}
 		for i, k := range kinds {
-			v := m.get(k, wl).GeoMeanIPC / base
+			v := m.Metric(k, wl, "ipc_geomean") / base
 			geos[i] = append(geos[i], v)
 			row = append(row, v)
 		}
@@ -194,7 +194,7 @@ func Fig2a(m *Matrix) *stats.Table {
 	t := stats.NewTable("workload", "hit-rate%")
 	sum := 0.0
 	for _, wl := range m.Opts.Workloads {
-		hr := m.get(sim.PolicyNUMAFlat, wl).StackedHitRate * 100
+		hr := m.Metric(sim.PolicyNUMAFlat, wl, "stacked_hit_rate") * 100
 		sum += hr
 		t.AddRow(wl, hr)
 	}

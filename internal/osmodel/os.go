@@ -12,6 +12,7 @@ import (
 
 	"chameleon/internal/addr"
 	"chameleon/internal/rng"
+	"chameleon/internal/stats"
 )
 
 // Notifier receives the ISA-Alloc/ISA-Free instructions the OS issues
@@ -95,6 +96,20 @@ type Stats struct {
 	Migrations   uint64 // AutoNUMA page migrations
 	MigrateFails uint64 // AutoNUMA -ENOMEM failures
 	HintFaults   uint64 // AutoNUMA sampling (PTE-poison) faults
+}
+
+// Snapshot flattens the stats into the unified metric shape.
+func (s Stats) Snapshot() stats.Snapshot {
+	return stats.Snapshot{
+		"minor_faults":  float64(s.MinorFaults),
+		"major_faults":  float64(s.MajorFaults),
+		"evictions":     float64(s.Evictions),
+		"freed_pages":   float64(s.FreedPages),
+		"fault_cycles":  float64(s.FaultCycles),
+		"migrations":    float64(s.Migrations),
+		"migrate_fails": float64(s.MigrateFails),
+		"hint_faults":   float64(s.HintFaults),
+	}
 }
 
 const noFrame = ^uint32(0)
@@ -200,6 +215,12 @@ func New(cfg Config, notifier Notifier) (*OS, error) {
 
 // Stats returns a copy of the accumulated statistics.
 func (o *OS) Stats() Stats { return o.stats }
+
+// Name implements stats.Source.
+func (o *OS) Name() string { return "os" }
+
+// Snapshot implements stats.Source.
+func (o *OS) Snapshot() stats.Snapshot { return o.stats.Snapshot() }
 
 // ResetStats clears the statistics and hit-rate counters (mappings and
 // free lists are preserved).

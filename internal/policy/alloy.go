@@ -6,6 +6,15 @@ import (
 	"chameleon/internal/addr"
 )
 
+func init() {
+	Register("alloy", Descriptor{
+		Build: func(bc BuildContext) (Controller, error) {
+			return NewAlloy(bc.Fast, bc.Slow,
+				bc.Config.Fast.CapacityBytes, bc.Config.Slow.CapacityBytes)
+		},
+	})
+}
+
 // Alloy models the latency-optimised DRAM cache of Qureshi & Loh
 // (MICRO 2012): the stacked DRAM is a direct-mapped cache of 64 B lines
 // whose tag and data (TAD, 72 B) stream out in a single burst, with a

@@ -5,6 +5,41 @@ import (
 	"chameleon/internal/srrt"
 )
 
+func init() {
+	// The three ISA-consuming designs share a build shape; only the
+	// constructor differs.
+	build := func(ctor func(sp *addr.Space, bc BuildContext) (Controller, error)) func(BuildContext) (Controller, error) {
+		return func(bc BuildContext) (Controller, error) {
+			sp, err := bc.NewSpace(uint64(bc.Config.MemSys.SegmentBytes))
+			if err != nil {
+				return nil, err
+			}
+			return ctor(sp, bc)
+		}
+	}
+	Register("polymorphic", Descriptor{
+		NeedsISA: true,
+		Build: build(func(sp *addr.Space, bc BuildContext) (Controller, error) {
+			ms := bc.Config.MemSys
+			return NewPolymorphic(sp, bc.Fast, bc.Slow, ms.SRTCacheEntries, ms.CacheLineBytes, ms.ClearOnModeSwitch)
+		}),
+	})
+	Register("chameleon", Descriptor{
+		NeedsISA: true,
+		Build: build(func(sp *addr.Space, bc BuildContext) (Controller, error) {
+			ms := bc.Config.MemSys
+			return NewChameleon(sp, bc.Fast, bc.Slow, ms.SRTCacheEntries, ms.SwapThreshold, ms.CacheLineBytes, ms.ClearOnModeSwitch)
+		}),
+	})
+	Register("chameleon-opt", Descriptor{
+		NeedsISA: true,
+		Build: build(func(sp *addr.Space, bc BuildContext) (Controller, error) {
+			ms := bc.Config.MemSys
+			return NewChameleonOpt(sp, bc.Fast, bc.Slow, ms.SRTCacheEntries, ms.SwapThreshold, ms.CacheLineBytes, ms.ClearOnModeSwitch)
+		}),
+	})
+}
+
 // Chameleon implements the paper's hardware-software co-design. It is a
 // PoM system whose segment groups dynamically switch between PoM mode
 // and cache mode, driven by ISA-Alloc/ISA-Free notifications from the

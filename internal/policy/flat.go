@@ -1,8 +1,28 @@
 package policy
 
 import (
+	"fmt"
+
 	"chameleon/internal/addr"
+	"chameleon/internal/config"
 )
+
+func init() {
+	Register("flat", Descriptor{
+		RequiresBaseline: true,
+		Build: func(bc BuildContext) (Controller, error) {
+			name := fmt.Sprintf("flat-%dGB", bc.BaselineBytes/config.GB*bc.Config.Scale)
+			return NewFlat(name, nil, bc.Slow, 0, bc.BaselineBytes), nil
+		},
+	})
+	Register("numa-flat", Descriptor{
+		OSManaged: true,
+		Build: func(bc BuildContext) (Controller, error) {
+			return NewFlat("numa-flat", bc.Fast, bc.Slow,
+				bc.Config.Fast.CapacityBytes, bc.Config.TotalCapacity()), nil
+		},
+	})
+}
 
 // Flat is a non-remapping memory system. With only an off-chip device
 // it models the paper's baseline_20GB/24GB DDR3 systems; with both

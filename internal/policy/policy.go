@@ -12,6 +12,7 @@ package policy
 
 import (
 	"chameleon/internal/addr"
+	"chameleon/internal/stats"
 )
 
 // Mem is the DRAM device abstraction the controllers drive.
@@ -65,6 +66,35 @@ func (s Stats) AMAT() float64 {
 	}
 	return float64(s.LatencySum) / float64(s.Accesses)
 }
+
+// Snapshot flattens the stats into the unified metric shape.
+func (s Stats) Snapshot() stats.Snapshot {
+	return stats.Snapshot{
+		"accesses":         float64(s.Accesses),
+		"fast_hits":        float64(s.FastHits),
+		"hit_rate":         s.HitRate(),
+		"amat_cycles":      s.AMAT(),
+		"swaps":            float64(s.Swaps),
+		"swap_bytes":       float64(s.SwapBytes),
+		"fills":            float64(s.Fills),
+		"writebacks":       float64(s.Writebacks),
+		"proactive_moves":  float64(s.ProactiveMoves),
+		"isa_allocs":       float64(s.ISAAllocs),
+		"isa_frees":        float64(s.ISAFrees),
+		"cleared_segments": float64(s.ClearedSegments),
+		"srt_hits":         float64(s.SRTHits),
+		"srt_misses":       float64(s.SRTMisses),
+		"latency_sum":      float64(s.LatencySum),
+	}
+}
+
+// Source adapts a Controller to the unified stats.Source interface.
+func Source(c Controller) stats.Source { return ctrlSource{c} }
+
+type ctrlSource struct{ c Controller }
+
+func (s ctrlSource) Name() string             { return s.c.Name() }
+func (s ctrlSource) Snapshot() stats.Snapshot { return s.c.Stats().Snapshot() }
 
 // Controller is a heterogeneous memory-system design.
 type Controller interface {

@@ -5,6 +5,30 @@ import (
 	"chameleon/internal/srrt"
 )
 
+func init() {
+	Register("pom", Descriptor{
+		Build: func(bc BuildContext) (Controller, error) {
+			ms := bc.Config.MemSys
+			sp, err := bc.NewSpace(uint64(ms.SegmentBytes))
+			if err != nil {
+				return nil, err
+			}
+			return NewPoM("pom", sp, bc.Fast, bc.Slow, ms.SRTCacheEntries, ms.SwapThreshold, ms.CacheLineBytes)
+		},
+	})
+	// CAMEO remaps at cache-line granularity with first-touch swaps.
+	Register("cameo", Descriptor{
+		Build: func(bc BuildContext) (Controller, error) {
+			ms := bc.Config.MemSys
+			sp, err := bc.NewSpace(uint64(ms.CacheLineBytes))
+			if err != nil {
+				return nil, err
+			}
+			return NewPoM("cameo", sp, bc.Fast, bc.Slow, ms.SRTCacheEntries, 1, ms.CacheLineBytes)
+		},
+	})
+}
+
 // remapSys is the machinery shared by all SRRT-based controllers (PoM,
 // CAMEO-style, Polymorphic, Chameleon, Chameleon-Opt): address
 // translation through the remapping table, the on-die SRT metadata

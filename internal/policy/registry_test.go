@@ -1,0 +1,67 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register("flat", Descriptor{Build: func(bc BuildContext) (Controller, error) { return nil, nil }})
+}
+
+func TestRegisterEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register with empty name did not panic")
+		}
+	}()
+	Register("", Descriptor{Build: func(bc BuildContext) (Controller, error) { return nil, nil }})
+}
+
+func TestRegisterNilBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register with nil Build did not panic")
+		}
+	}()
+	Register("nil-build", Descriptor{})
+}
+
+func TestLookupUnknownListsNames(t *testing.T) {
+	_, err := Lookup("no-such-design")
+	if err == nil {
+		t.Fatal("Lookup of unknown design succeeded")
+	}
+	for _, want := range Names() {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention registered design %q", err, want)
+		}
+	}
+}
+
+func TestNamesContainsBuiltins(t *testing.T) {
+	got := map[string]bool{}
+	for _, n := range Names() {
+		got[n] = true
+	}
+	for _, want := range []string{
+		"flat", "numa-flat", "alloy", "pom", "cameo",
+		"polymorphic", "chameleon", "chameleon-opt",
+	} {
+		if !got[want] {
+			t.Errorf("built-in design %q not registered (have %v)", want, Names())
+		}
+	}
+	// Names must come back sorted for stable CLI help and error text.
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"chameleon/internal/stats"
 )
 
 // queueWaitBuckets are the upper bounds (milliseconds) of the queue
@@ -30,9 +32,18 @@ type Metrics struct {
 
 	queueWait struct {
 		sync.Mutex
-		counts [6]int64 // one per bucket + overflow
-		totalMS  int64
-		samples  int64
+		counts  [6]int64 // one per bucket + overflow
+		totalMS int64
+		samples int64
+	}
+
+	// sim accumulates the unified stats.Snapshot of every completed
+	// simulation (see sim.Result.Snapshot), exposed as the "sim" expvar
+	// entry.
+	sim struct {
+		sync.Mutex
+		totals stats.Snapshot
+		runs   int64
 	}
 
 	start time.Time
@@ -60,6 +71,32 @@ func (m *Metrics) ObserveQueueWait(d time.Duration) {
 	q.counts[i]++
 	q.totalMS += ms
 	q.samples++
+}
+
+// ObserveSim accumulates one completed simulation's unified snapshot
+// into the server-lifetime totals. Any stats.Source works — the server
+// does not know (or care) which counters a design exports.
+func (m *Metrics) ObserveSim(src stats.Source) {
+	snap := src.Snapshot()
+	s := &m.sim
+	s.Lock()
+	defer s.Unlock()
+	if s.totals == nil {
+		s.totals = stats.Snapshot{}
+	}
+	s.totals.Add("", snap)
+	s.runs++
+}
+
+// simSnapshot renders the accumulated simulation counters.
+func (m *Metrics) simSnapshot() map[string]float64 {
+	s := &m.sim
+	s.Lock()
+	defer s.Unlock()
+	out := make(stats.Snapshot, len(s.totals)+1)
+	out.Add("", s.totals)
+	out["runs"] = float64(s.runs)
+	return out
 }
 
 // CacheHitRate returns hits / (hits + misses), or 0 before the first
@@ -101,6 +138,7 @@ func (m *Metrics) Vars() *expvar.Map {
 			return time.Since(m.start).Seconds()
 		}))
 		mp.Set("queue_wait_ms", expvar.Func(func() any { return m.queueWaitSnapshot() }))
+		mp.Set("sim", expvar.Func(func() any { return m.simSnapshot() }))
 		m.vars = mp
 	})
 	return m.vars

@@ -223,6 +223,7 @@ func (s *Server) runSim(ctx context.Context, j *Job) (any, error) {
 		return nil, err
 	}
 	s.metrics.SimCycles.Add(int64(res.MaxCycles))
+	s.metrics.ObserveSim(res)
 	return res, nil
 }
 
@@ -243,6 +244,7 @@ func (s *Server) runMatrix(ctx context.Context, j *Job) (any, error) {
 	for _, rows := range m.Results {
 		for _, r := range rows {
 			s.metrics.SimCycles.Add(int64(r.MaxCycles))
+			s.metrics.ObserveSim(r)
 		}
 	}
 	return matrixPayload{Results: m.ByName()}, nil

@@ -5,10 +5,12 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"time"
 
 	"chameleon/internal/config"
 	"chameleon/internal/experiments"
+	"chameleon/internal/policy"
 	"chameleon/internal/sim"
 	"chameleon/internal/workload"
 )
@@ -18,18 +20,6 @@ const (
 	KindSim    = "sim"    // one simulation (policy × workload)
 	KindMatrix = "matrix" // the full evaluation matrix (experiments.RunMatrix)
 )
-
-// policyByName maps the wire names to policy kinds.
-var policyByName = map[string]sim.PolicyKind{
-	"flat":          sim.PolicyFlat,
-	"numa-flat":     sim.PolicyNUMAFlat,
-	"alloy":         sim.PolicyAlloy,
-	"pom":           sim.PolicyPoM,
-	"cameo":         sim.PolicyCAMEO,
-	"polymorphic":   sim.PolicyPolymorphic,
-	"chameleon":     sim.PolicyChameleon,
-	"chameleon-opt": sim.PolicyChameleonOpt,
-}
 
 // JobSpec is the wire-format description of one job. Zero fields take
 // the library defaults (Scale 256, 500k instructions, 4M warm-up,
@@ -53,7 +43,10 @@ type JobSpec struct {
 	TimelineEpochCycles uint64 `json:"timeline_epoch_cycles,omitempty"`
 
 	// Matrix fields (Kind == "matrix").
-	Workloads   []string `json:"workloads,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+	// Policies restricts the matrix's policy set (default: the paper's
+	// standard evaluation designs). Each name must be registered.
+	Policies    []string `json:"policies,omitempty"`
 	Parallelism int      `json:"parallelism,omitempty"`
 
 	// Shared simulation parameters.
@@ -97,7 +90,8 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		if s.Policy == "" {
 			return s, fmt.Errorf("sim job requires a policy (one of %s)", policyNames())
 		}
-		if _, ok := policyByName[s.Policy]; !ok {
+		desc, err := policy.Lookup(s.Policy)
+		if err != nil {
 			return s, fmt.Errorf("unknown policy %q (one of %s)", s.Policy, policyNames())
 		}
 		if s.Workload == "" {
@@ -106,16 +100,18 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		if _, err := workload.ByName(s.Workload); err != nil {
 			return s, err
 		}
-		if s.Policy == "flat" && s.BaselineGB == 0 {
-			s.BaselineGB = 24
-		}
-		if s.Policy != "flat" {
+		if desc.RequiresBaseline {
+			if s.BaselineGB == 0 {
+				s.BaselineGB = 24
+			}
+		} else {
 			s.BaselineGB = 0
 		}
 		if s.TimelineEpochCycles == 0 {
 			s.TimelineEpochCycles = 1_000_000
 		}
 		s.Workloads = nil
+		s.Policies = nil
 		s.Parallelism = 0
 	case KindMatrix:
 		if len(s.Workloads) == 0 {
@@ -124,6 +120,11 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		for _, w := range s.Workloads {
 			if _, err := workload.ByName(w); err != nil {
 				return s, err
+			}
+		}
+		for _, p := range s.Policies {
+			if _, err := policy.Lookup(p); err != nil {
+				return s, fmt.Errorf("unknown policy %q (one of %s)", p, policyNames())
 			}
 		}
 		// Parallelism shapes scheduling, not results; it is kept in
@@ -169,13 +170,13 @@ func (s JobSpec) SimOptions() (sim.Options, error) {
 	}
 	o := sim.Options{
 		Config:              cfg,
-		Policy:              policyByName[s.Policy],
+		Policy:              sim.PolicyKind(s.Policy),
 		Workload:            prof.Scale(s.Scale),
 		Seed:                s.Seed,
 		WarmupInstructions:  s.Warmup,
 		TimelineEpochCycles: s.TimelineEpochCycles,
 	}
-	if o.Policy == sim.PolicyFlat {
+	if s.BaselineGB > 0 {
 		o.BaselineBytes = s.BaselineGB * config.GB / s.Scale
 	}
 	return o, nil
@@ -184,7 +185,7 @@ func (s JobSpec) SimOptions() (sim.Options, error) {
 // MatrixOptions converts a normalized matrix spec into experiment
 // options.
 func (s JobSpec) MatrixOptions() experiments.Options {
-	return experiments.Options{
+	o := experiments.Options{
 		Scale:        s.Scale,
 		Instructions: s.Instructions,
 		Warmup:       s.Warmup,
@@ -192,6 +193,10 @@ func (s JobSpec) MatrixOptions() experiments.Options {
 		Workloads:    s.Workloads,
 		Parallelism:  s.Parallelism,
 	}
+	for _, p := range s.Policies {
+		o.Policies = append(o.Policies, sim.PolicyKind(p))
+	}
+	return o
 }
 
 // Timeout returns the job's wall-clock budget, clamped to fallback
@@ -205,5 +210,5 @@ func (s JobSpec) Timeout(fallback time.Duration) time.Duration {
 
 // policyNames lists the accepted policy names for error messages.
 func policyNames() string {
-	return "flat, numa-flat, alloy, pom, cameo, polymorphic, chameleon, chameleon-opt"
+	return strings.Join(policy.Names(), ", ")
 }

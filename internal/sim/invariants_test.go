@@ -55,7 +55,7 @@ func TestRemapInvariantsAfterFullRuns(t *testing.T) {
 func TestTrafficConservation(t *testing.T) {
 	const scale = 512
 	cfg := config.Default(scale)
-	cfg.MemSys.ClearOnModeSwith = false // clears are not in Ctrl.SwapBytes
+	cfg.MemSys.ClearOnModeSwitch = false // clears are not in Ctrl.SwapBytes
 	prof, err := workload.ByName("hpccg")
 	if err != nil {
 		t.Fatal(err)

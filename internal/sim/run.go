@@ -194,7 +194,45 @@ const ctxCheckInterval = 4096
 
 // execute runs every core for budget further instructions. It returns
 // a non-nil error only when the run context is canceled.
+//
+// Cores advance in (time, id) order via an indexed min-heap: pick the
+// root, step it, then either sift its advanced clock down or pop it
+// when its budget is spent. O(log cores) per reference instead of the
+// O(cores) scan of executeLinear, with identical scheduling order.
 func (s *System) execute(budget uint64) error {
+	if s.linearSched {
+		return s.executeLinear(budget)
+	}
+	for _, c := range s.cores {
+		c.budget = c.instr + budget
+		c.done = false
+	}
+	h := newCoreHeap(s.cores)
+	steps := 0
+	for h.len() > 0 {
+		if steps++; steps >= ctxCheckInterval {
+			steps = 0
+			if err := s.runCtx.Err(); err != nil {
+				return fmt.Errorf("sim: run canceled: %w", err)
+			}
+		}
+		next := h.peek()
+		s.step(next)
+		if next.instr >= next.budget {
+			next.done = true
+			h.pop()
+		} else {
+			h.fix()
+		}
+	}
+	return nil
+}
+
+// executeLinear is the pre-heap scheduler: a full O(cores) min-scan
+// per reference. Kept as the reference implementation for the
+// scheduler-equivalence test and benchmark baseline (System.linearSched
+// routes execute here).
+func (s *System) executeLinear(budget uint64) error {
 	for _, c := range s.cores {
 		c.budget = c.instr + budget
 		c.done = false
@@ -231,7 +269,9 @@ func (s *System) execute(budget uint64) error {
 // translation (with demand paging), the cache hierarchy and, on an LLC
 // miss, the memory system.
 func (s *System) step(c *core) {
-	s.phaseChurn(c)
+	if s.phaseOn {
+		s.phaseChurn(c)
+	}
 	var p uint64
 	var write bool
 	if c.pendingValid {
@@ -245,10 +285,12 @@ func (s *System) step(c *core) {
 		c.time += ref.Gap * s.baseCPIx1000 / 1000
 
 		phys, stall := s.os.Translate(c.proc, ref.VAddr, c.time)
-		if s.auto != nil {
+		if s.autoOn {
 			s.auto.Tick(c.time)
 		}
-		s.sampleTimeline(c.time)
+		if s.timelineOn {
+			s.sampleTimeline(c.time)
+		}
 		if stall > 0 {
 			c.time += stall
 			c.faultCycles += stall
@@ -291,10 +333,8 @@ func (s *System) step(c *core) {
 // boundary the core alternately maps and frees a transient buffer just
 // past its footprint, issuing ISA-Alloc/ISA-Free through the OS and
 // letting Chameleon's segment groups switch modes mid-run.
+// Callers gate on System.phaseOn, so the options are known non-zero.
 func (s *System) phaseChurn(c *core) {
-	if s.opts.PhaseEveryInstructions == 0 || s.opts.PhaseAllocBytes == 0 {
-		return
-	}
 	if c.phaseNext == 0 {
 		c.phaseNext = c.instr + s.opts.PhaseEveryInstructions
 		return

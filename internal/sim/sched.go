@@ -1,0 +1,64 @@
+package sim
+
+// coreHeap is a binary min-heap of runnable cores ordered by
+// (time, id). The id tie-break makes the minimum unique, so heap
+// selection is identical to a first-strictly-smaller linear scan over
+// the cores slice — the two schedulers produce bit-identical runs.
+//
+// Only the scheduled core's clock ever advances, so the heap needs no
+// general decrease-key: after a step either the root sifts down (fix)
+// or, when the core exhausts its budget, it is popped.
+type coreHeap struct {
+	cs []*core
+}
+
+func newCoreHeap(cores []*core) *coreHeap {
+	h := &coreHeap{cs: append([]*core(nil), cores...)}
+	for i := len(h.cs)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	return h
+}
+
+func (h *coreHeap) len() int { return len(h.cs) }
+
+// peek returns the core with the smallest (time, id) without removing
+// it.
+func (h *coreHeap) peek() *core { return h.cs[0] }
+
+// fix restores heap order after the root core's clock advanced.
+func (h *coreHeap) fix() { h.siftDown(0) }
+
+// pop removes the root core (it finished its instruction budget).
+func (h *coreHeap) pop() {
+	n := len(h.cs) - 1
+	h.cs[0] = h.cs[n]
+	h.cs[n] = nil
+	h.cs = h.cs[:n]
+	if n > 1 {
+		h.siftDown(0)
+	}
+}
+
+func coreLess(a, b *core) bool {
+	return a.time < b.time || (a.time == b.time && a.id < b.id)
+}
+
+func (h *coreHeap) siftDown(i int) {
+	n := len(h.cs)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && coreLess(h.cs[r], h.cs[l]) {
+			m = r
+		}
+		if !coreLess(h.cs[m], h.cs[i]) {
+			return
+		}
+		h.cs[i], h.cs[m] = h.cs[m], h.cs[i]
+		i = m
+	}
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"chameleon/internal/config"
+	"chameleon/internal/workload"
+)
+
+// BenchmarkScheduler measures the simulation loop under the heap
+// scheduler against the O(cores) linear-scan reference at increasing
+// core counts. The two produce bit-identical runs (see
+// TestSchedulerEquivalence), so any ns/op difference is pure scheduling
+// overhead.
+func BenchmarkScheduler(b *testing.B) {
+	for _, n := range []int{12, 32, 64} {
+		for _, sched := range []struct {
+			name   string
+			linear bool
+		}{{"heap", false}, {"linear", true}} {
+			b.Run(fmt.Sprintf("cores=%d/%s", n, sched.name), func(b *testing.B) {
+				benchScheduler(b, n, sched.linear)
+			})
+		}
+	}
+}
+
+func benchScheduler(b *testing.B, cores int, linear bool) {
+	const scale = 512
+	cfg := config.Default(scale)
+	cfg.CPU.Cores = cores
+	prof, err := workload.ByName("bwaves")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof = prof.Scale(scale)
+	// Keep the aggregate footprint inside the scaled machine at every
+	// core count, so the capacity check admits the 64-core run.
+	if cap := cfg.TotalCapacity() / uint64(2*cores); prof.FootprintBytes > cap {
+		prof.FootprintBytes = cap
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys, err := New(Options{
+			Config:   cfg,
+			Policy:   PolicyNUMAFlat,
+			Workload: prof,
+			Seed:     7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.linearSched = linear
+		if _, err := sys.Run(20_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

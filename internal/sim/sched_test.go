@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"chameleon/internal/config"
+	"chameleon/internal/workload"
+)
+
+// TestSchedulerEquivalence: the heap scheduler must reproduce the
+// linear-scan reference bit for bit. The (time, id) tie-break makes the
+// heap's minimum the exact core the linear scan would pick, so whole
+// runs — device queues, remapping state, every counter — are identical.
+func TestSchedulerEquivalence(t *testing.T) {
+	const scale = 512
+	run := func(k PolicyKind, linear bool) *Result {
+		cfg := config.Default(scale)
+		prof, err := workload.ByName("cloverleaf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{
+			Config:              cfg,
+			Policy:              k,
+			Workload:            prof.Scale(scale),
+			Seed:                29,
+			WarmupInstructions:  300_000,
+			TimelineEpochCycles: 500_000,
+		}
+		if k == PolicyFlat {
+			opts.BaselineBytes = 24 * config.GB / scale
+		}
+		sys, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.linearSched = linear
+		res, err := sys.Run(100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, k := range []PolicyKind{PolicyFlat, PolicyPoM, PolicyChameleonOpt} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			heap := run(k, false)
+			linear := run(k, true)
+			if !reflect.DeepEqual(heap, linear) {
+				t.Errorf("heap and linear schedulers diverged:\nheap:   %+v\nlinear: %+v", heap, linear)
+			}
+		})
+	}
+}
+
+// TestCoreHeapOrder drains a heap built from shuffled clocks and checks
+// it yields (time, id) order.
+func TestCoreHeapOrder(t *testing.T) {
+	times := []uint64{90, 10, 50, 10, 70, 30, 50, 20}
+	var cores []*core
+	for i, tm := range times {
+		cores = append(cores, &core{id: i, time: tm})
+	}
+	h := newCoreHeap(cores)
+	var got []*core
+	for h.len() > 0 {
+		got = append(got, h.peek())
+		h.pop()
+	}
+	if len(got) != len(cores) {
+		t.Fatalf("drained %d cores, want %d", len(got), len(cores))
+	}
+	for i := 1; i < len(got); i++ {
+		if coreLess(got[i], got[i-1]) {
+			t.Errorf("pop %d (time %d, id %d) out of order after (time %d, id %d)",
+				i, got[i].time, got[i].id, got[i-1].time, got[i-1].id)
+		}
+	}
+	if got[0].id != 1 || got[1].id != 3 {
+		t.Errorf("equal clocks must drain in id order, got ids %d, %d", got[0].id, got[1].id)
+	}
+}
+
+// TestCoreHeapFix advances the root repeatedly (the execute pattern)
+// and checks the heap keeps selecting the global minimum.
+func TestCoreHeapFix(t *testing.T) {
+	var cores []*core
+	for i := 0; i < 5; i++ {
+		cores = append(cores, &core{id: i, time: uint64(i)})
+	}
+	h := newCoreHeap(cores)
+	var last *core
+	for step := 0; step < 200; step++ {
+		c := h.peek()
+		if last != nil && coreLess(c, last) {
+			t.Fatalf("step %d: selected (time %d, id %d) before previous (time %d, id %d)",
+				step, c.time, c.id, last.time, last.id)
+		}
+		last = &core{id: c.id, time: c.time}
+		c.time += uint64(7+3*c.id) % 11
+		h.fix()
+	}
+}

@@ -23,38 +23,27 @@ import (
 	"chameleon/internal/trace"
 )
 
-// PolicyKind selects the memory-system design under test.
-type PolicyKind int
+// PolicyKind names the memory-system design under test. Any name
+// registered with policy.Register is valid; the constants below cover
+// the designs of the paper's evaluation.
+type PolicyKind string
 
 // The memory-system designs of the paper's evaluation.
 const (
-	PolicyFlat         PolicyKind = iota // DDR-only baseline (BaselineBytes capacity)
-	PolicyNUMAFlat                       // OS-managed heterogeneous memory
-	PolicyAlloy                          // latency-optimised DRAM cache
-	PolicyPoM                            // hardware-managed part of memory
-	PolicyCAMEO                          // 64 B congruence-group PoM variant
-	PolicyPolymorphic                    // Chung et al. polymorphic memory
-	PolicyChameleon                      // basic co-design
-	PolicyChameleonOpt                   // proactive-remapping co-design
+	PolicyFlat         PolicyKind = "flat"          // DDR-only baseline (BaselineBytes capacity)
+	PolicyNUMAFlat     PolicyKind = "numa-flat"     // OS-managed heterogeneous memory
+	PolicyAlloy        PolicyKind = "alloy"         // latency-optimised DRAM cache
+	PolicyPoM          PolicyKind = "pom"           // hardware-managed part of memory
+	PolicyCAMEO        PolicyKind = "cameo"         // 64 B congruence-group PoM variant
+	PolicyPolymorphic  PolicyKind = "polymorphic"   // Chung et al. polymorphic memory
+	PolicyChameleon    PolicyKind = "chameleon"     // basic co-design
+	PolicyChameleonOpt PolicyKind = "chameleon-opt" // proactive-remapping co-design
 )
 
-var policyNames = map[PolicyKind]string{
-	PolicyFlat:         "flat",
-	PolicyNUMAFlat:     "numa-flat",
-	PolicyAlloy:        "alloy",
-	PolicyPoM:          "pom",
-	PolicyCAMEO:        "cameo",
-	PolicyPolymorphic:  "polymorphic",
-	PolicyChameleon:    "chameleon",
-	PolicyChameleonOpt: "chameleon-opt",
-}
+func (k PolicyKind) String() string { return string(k) }
 
-func (k PolicyKind) String() string {
-	if n, ok := policyNames[k]; ok {
-		return n
-	}
-	return fmt.Sprintf("PolicyKind(%d)", int(k))
-}
+// PolicyNames returns every registered design name, sorted.
+func PolicyNames() []string { return policy.Names() }
 
 // Options configures one simulation.
 type Options struct {
@@ -158,6 +147,16 @@ type System struct {
 	ran    bool
 	runCtx context.Context
 
+	// Hot-path guards, fixed at construction so step() pays one bool
+	// test instead of re-deriving each condition per reference.
+	phaseOn    bool // allocation-churn phases configured
+	timelineOn bool // timeline sampling configured
+	autoOn     bool // AutoNUMA engine attached
+
+	// linearSched routes execute through the O(cores) reference
+	// scheduler; settable only from package-internal tests/benchmarks.
+	linearSched bool
+
 	nextEpoch uint64
 	timeline  []TimelinePoint
 }
@@ -196,14 +195,20 @@ func New(opts Options) (*System, error) {
 	}
 
 	s := &System{opts: opts, cfg: cfg,
-		baseCPIx1000: uint64(math.Round(cfg.CPU.BaseCPI * 1000))}
+		baseCPIx1000: uint64(math.Round(cfg.CPU.BaseCPI * 1000)),
+		phaseOn:      opts.PhaseEveryInstructions > 0 && opts.PhaseAllocBytes > 0,
+		timelineOn:   opts.TimelineEpochCycles > 0,
+	}
 
-	var err error
+	desc, err := policy.Lookup(string(opts.Policy))
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	fastCfg := cfg.Fast
 	slowCfg := cfg.Slow
-	if opts.Policy == PolicyFlat {
+	if desc.RequiresBaseline {
 		if opts.BaselineBytes == 0 {
-			return nil, fmt.Errorf("sim: PolicyFlat requires BaselineBytes")
+			return nil, fmt.Errorf("sim: policy %q requires BaselineBytes", opts.Policy)
 		}
 		slowCfg.CapacityBytes = opts.BaselineBytes
 	}
@@ -213,12 +218,17 @@ func New(opts Options) (*System, error) {
 	if s.slow, err = dram.New(slowCfg, cfg.CPU.FreqHz); err != nil {
 		return nil, err
 	}
-	if s.ctrl, err = s.buildController(); err != nil {
+	if s.ctrl, err = desc.Build(policy.BuildContext{
+		Config:        cfg,
+		Fast:          s.fast,
+		Slow:          s.slow,
+		BaselineBytes: opts.BaselineBytes,
+	}); err != nil {
 		return nil, err
 	}
 
 	// OS over the controller's visible space. Hardware-managed designs
-	// appear to the OS as a single node; NUMA-flat exposes two.
+	// appear to the OS as a single node; OS-managed designs expose two.
 	pageBytes := uint64(cfg.OS.PageBytes)
 	if opts.UseTHP {
 		pageBytes = uint64(cfg.OS.HugePageBytes)
@@ -226,12 +236,12 @@ func New(opts Options) (*System, error) {
 	osCfg := osmodel.Config{
 		TotalBytes:      s.ctrl.OSVisibleBytes(),
 		PageBytes:       pageBytes,
-		SegBytes:        s.isaSegBytes(),
+		SegBytes:        desc.ISASegBytes(cfg),
 		PageFaultCycles: cfg.OS.PageFaultCycles,
 		Alloc:           osmodel.AllocShuffled,
 		Seed:            opts.Seed + 1,
 	}
-	if opts.Policy == PolicyNUMAFlat {
+	if desc.OSManaged {
 		osCfg.FastBytes = cfg.Fast.CapacityBytes
 		osCfg.Alloc = osmodel.AllocFirstTouch
 		if opts.AutoNUMA != nil {
@@ -258,10 +268,11 @@ func New(opts Options) (*System, error) {
 		return nil, err
 	}
 	if opts.AutoNUMA != nil {
-		if opts.Policy != PolicyNUMAFlat {
-			return nil, fmt.Errorf("sim: AutoNUMA requires PolicyNUMAFlat")
+		if !desc.OSManaged {
+			return nil, fmt.Errorf("sim: AutoNUMA requires an OS-managed policy (e.g. numa-flat)")
 		}
 		s.auto = s.os.EnableAutoNUMA(*opts.AutoNUMA)
+		s.autoOn = true
 	}
 
 	if s.l3, err = cache.New("L3", cfg.L3.SizeBytes, cfg.L3.Ways, cfg.L3.LineBytes); err != nil {
@@ -294,66 +305,6 @@ func New(opts Options) (*System, error) {
 		})
 	}
 	return s, nil
-}
-
-// isaSegBytes returns the segment granularity for ISA notifications
-// (0 when the design does not consume them).
-func (s *System) isaSegBytes() uint64 {
-	switch s.opts.Policy {
-	case PolicyChameleon, PolicyChameleonOpt, PolicyPolymorphic:
-		return uint64(s.cfg.MemSys.SegmentBytes)
-	default:
-		return 0
-	}
-}
-
-func (s *System) buildController() (policy.Controller, error) {
-	cfg := s.cfg
-	ms := cfg.MemSys
-	newSpace := func(segBytes uint64) (*addr.Space, error) {
-		return addr.NewSpace(cfg.Fast.CapacityBytes, cfg.Slow.CapacityBytes, segBytes)
-	}
-	switch s.opts.Policy {
-	case PolicyFlat:
-		name := fmt.Sprintf("flat-%dGB", s.opts.BaselineBytes/config.GB*cfg.Scale)
-		return policy.NewFlat(name, nil, s.slow, 0, s.opts.BaselineBytes), nil
-	case PolicyNUMAFlat:
-		total := cfg.Fast.CapacityBytes + cfg.Slow.CapacityBytes
-		return policy.NewFlat("numa-flat", s.fast, s.slow, cfg.Fast.CapacityBytes, total), nil
-	case PolicyAlloy:
-		return policy.NewAlloy(s.fast, s.slow, cfg.Fast.CapacityBytes, cfg.Slow.CapacityBytes)
-	case PolicyPoM:
-		sp, err := newSpace(uint64(ms.SegmentBytes))
-		if err != nil {
-			return nil, err
-		}
-		return policy.NewPoM("pom", sp, s.fast, s.slow, ms.SRTCacheEntries, ms.SwapThreshold, ms.CacheLineBytes)
-	case PolicyCAMEO:
-		sp, err := newSpace(uint64(ms.CacheLineBytes))
-		if err != nil {
-			return nil, err
-		}
-		return policy.NewPoM("cameo", sp, s.fast, s.slow, ms.SRTCacheEntries, 1, ms.CacheLineBytes)
-	case PolicyPolymorphic:
-		sp, err := newSpace(uint64(ms.SegmentBytes))
-		if err != nil {
-			return nil, err
-		}
-		return policy.NewPolymorphic(sp, s.fast, s.slow, ms.SRTCacheEntries, ms.CacheLineBytes, ms.ClearOnModeSwith)
-	case PolicyChameleon:
-		sp, err := newSpace(uint64(ms.SegmentBytes))
-		if err != nil {
-			return nil, err
-		}
-		return policy.NewChameleon(sp, s.fast, s.slow, ms.SRTCacheEntries, ms.SwapThreshold, ms.CacheLineBytes, ms.ClearOnModeSwith)
-	case PolicyChameleonOpt:
-		sp, err := newSpace(uint64(ms.SegmentBytes))
-		if err != nil {
-			return nil, err
-		}
-		return policy.NewChameleonOpt(sp, s.fast, s.slow, ms.SRTCacheEntries, ms.SwapThreshold, ms.CacheLineBytes, ms.ClearOnModeSwith)
-	}
-	return nil, fmt.Errorf("sim: unknown policy %v", s.opts.Policy)
 }
 
 // isaAdapter forwards OS notifications to the controller.

@@ -1,0 +1,29 @@
+package sim
+
+import "chameleon/internal/stats"
+
+// Name implements stats.Source: the controller name of the run.
+func (r *Result) Name() string { return r.Policy }
+
+// Snapshot implements stats.Source: the run's headline scalars plus
+// every substrate counter, namespaced by subsystem ("ctrl.swaps",
+// "dram_fast.row_hits", ...). This is the one metric shape consumed by
+// the server's expvar surface, the experiment figure emitters, and the
+// CLI's counter dump.
+func (r *Result) Snapshot() stats.Snapshot {
+	s := stats.Snapshot{
+		"ipc_geomean":         r.GeoMeanIPC,
+		"stacked_hit_rate":    r.StackedHitRate,
+		"amat_cycles":         r.AMAT,
+		"cache_mode_fraction": r.CacheModeFraction,
+		"cpu_utilization":     r.CPUUtilization,
+		"max_cycles":          float64(r.MaxCycles),
+		"cores":               float64(len(r.Cores)),
+	}
+	s.Merge("ctrl", r.Ctrl.Snapshot())
+	s.Merge("os", r.OS.Snapshot())
+	s.Merge("dram_fast", r.Fast.Snapshot())
+	s.Merge("dram_slow", r.Slow.Snapshot())
+	s.Merge("l3", r.L3.Snapshot())
+	return s
+}
