@@ -52,9 +52,14 @@ import (
 // Config is the simulated machine configuration (Table I).
 type Config = config.Config
 
+// CacheLevelConfig describes one level of the cache hierarchy; order
+// Config.CacheLevels from the core outward to shape the stack the
+// simulator builds (any depth, private or shared per level).
+type CacheLevelConfig = config.CacheLevelConfig
+
 // DefaultConfig returns the paper's Table I configuration with
-// capacities (and L2/L3 sizes) divided by scale. Scale 1 is the
-// full-size 4 GB + 20 GB machine.
+// capacities (and outer cache-level sizes) divided by scale. Scale 1 is
+// the full-size 4 GB + 20 GB machine.
 func DefaultConfig(scale uint64) Config { return config.Default(scale) }
 
 // Byte-size helpers re-exported for configuration arithmetic.
@@ -112,6 +117,10 @@ type Result = sim.Result
 
 // CoreResult is one core's share of a Result.
 type CoreResult = sim.CoreResult
+
+// LevelResult is one cache level's aggregated statistics in a Result
+// (Result.Levels, ordered from the core outward).
+type LevelResult = sim.LevelResult
 
 // TimelinePoint is one sample of the optional run timeline (set
 // Options.TimelineEpochCycles).

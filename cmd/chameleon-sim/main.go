@@ -5,10 +5,15 @@
 //
 //	chameleon-sim -policy chameleon-opt -workload bwaves [-scale 256]
 //	              [-instr 500000] [-warmup 4000000] [-ratio 5] [-seed 42]
-//	              [-baseline-gb 20] [-autonuma 0.9]
+//	              [-baseline-gb 20] [-autonuma 0.9] [-config machine.json]
+//
+// -config overlays a JSON configuration document on the scaled default
+// machine; use a "CacheLevels" array to run a different cache hierarchy
+// (2-level, 4-level, ...) — see README.md for examples.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +40,7 @@ func main() {
 		mix        = flag.String("mix", "", "comma-separated workloads, one per core round-robin (overrides -workload)")
 		groupAware = flag.Bool("group-aware", false, "use the group-aware OS allocator (paper SVI-G)")
 		counters   = flag.Bool("counters", false, "dump every simulation counter (the unified stats snapshot)")
+		configPath = flag.String("config", "", "JSON config overlay (e.g. a CacheLevels hierarchy) applied to the scaled default")
 	)
 	flag.Parse()
 
@@ -43,7 +49,7 @@ func main() {
 		instr: *instr, warmup: *warmup, ratio: *ratio, seed: *seed,
 		baselineGB: *baselineGB, autonuma: *autonuma,
 		energy: *energy, mix: *mix, groupAware: *groupAware,
-		counters: *counters,
+		counters: *counters, configPath: *configPath,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "chameleon-sim:", err)
 		os.Exit(1)
@@ -60,6 +66,7 @@ type runCfg struct {
 	mix                  string
 	groupAware           bool
 	counters             bool
+	configPath           string
 }
 
 func run(rc runCfg) error {
@@ -71,6 +78,21 @@ func run(rc runCfg) error {
 		return err
 	}
 	cfg := chameleon.DefaultConfig(rc.scale)
+	if rc.configPath != "" {
+		// The overlay decodes onto the scaled default, so a document may
+		// name only the fields it changes (a CacheLevels stack, a legacy
+		// L2 resize, DRAM timings, ...).
+		b, err := os.ReadFile(rc.configPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(b, &cfg); err != nil {
+			return fmt.Errorf("%s: %w", rc.configPath, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", rc.configPath, err)
+		}
+	}
 	if rc.ratio != 0 {
 		if cfg, err = cfg.WithRatio(rc.ratio); err != nil {
 			return err
@@ -116,6 +138,10 @@ func run(rc runCfg) error {
 	fmt.Printf("geomean IPC       %.4f\n", res.GeoMeanIPC)
 	fmt.Printf("stacked hit rate  %.2f%%\n", res.StackedHitRate*100)
 	fmt.Printf("avg mem latency   %.1f cycles\n", res.AMAT)
+	for _, lv := range res.Levels {
+		fmt.Printf("%-18s%d accesses, %.2f%% miss rate, %d writebacks\n",
+			strings.ToLower(lv.Level)+" cache", lv.Accesses, lv.MissRate()*100, lv.Writebacks)
+	}
 	fmt.Printf("cache-mode groups %.2f%%\n", res.CacheModeFraction*100)
 	fmt.Printf("CPU utilisation   %.2f%%\n", res.CPUUtilization*100)
 	fmt.Printf("segment swaps     %d (%.1f MB moved)\n", res.Ctrl.Swaps, float64(res.Ctrl.SwapBytes)/float64(config.MB))

@@ -21,6 +21,21 @@ func main() {
 	}
 	prof = prof.Scale(scale)
 
+	// The cache stack comes from the config, not hard-wired names: any
+	// hierarchy set in cfg.CacheLevels is what every design runs behind.
+	fmt.Print("cache hierarchy: ")
+	for i, lv := range cfg.CacheLevels {
+		if i > 0 {
+			fmt.Print(" -> ")
+		}
+		scope := "private"
+		if lv.Shared {
+			scope = "shared"
+		}
+		fmt.Printf("%s %dKB/%dw %s", lv.Name, lv.SizeBytes/int(chameleon.KB), lv.Ways, scope)
+	}
+	fmt.Println()
+
 	type entry struct {
 		name     string
 		policy   chameleon.Policy

@@ -21,21 +21,41 @@ const (
 
 // CPUConfig describes the simulated cores.
 type CPUConfig struct {
-	Cores     int     // number of cores (one application instance each)
-	FreqHz    float64 // core clock frequency
-	BaseCPI   float64 // cycles per non-memory instruction when not stalled
-	MaxMLP    int     // maximum overlapped LLC misses per core
-	IssueBlk  int     // instructions retired between trace events
-	L1Latency uint64  // L1 hit latency in CPU cycles
-	L2Latency uint64  // L2 hit latency in CPU cycles
-	L3Latency uint64  // L3 hit latency in CPU cycles
+	Cores    int     // number of cores (one application instance each)
+	FreqHz   float64 // core clock frequency
+	BaseCPI  float64 // cycles per non-memory instruction when not stalled
+	MaxMLP   int     // maximum overlapped LLC misses per core
+	IssueBlk int     // instructions retired between trace events
 }
 
-// CacheConfig describes one cache level.
+// CacheConfig is the legacy per-level cache shape of the fixed
+// three-level schema (JSON keys L1/L2/L3). New configurations use
+// Config.CacheLevels; this type remains only so stored legacy
+// configurations keep decoding (see Config.UnmarshalJSON).
 type CacheConfig struct {
 	SizeBytes int
 	Ways      int
 	LineBytes int
+}
+
+// CacheLevelConfig describes one level of the cache hierarchy, ordered
+// from the level closest to the core (index 0) to the last-level cache.
+type CacheLevelConfig struct {
+	// Name labels the level in statistics and error messages ("L1",
+	// "L2", ...). Names must be unique within a hierarchy.
+	Name      string
+	SizeBytes int
+	Ways      int
+	LineBytes int
+	// LatencyCycles is the cumulative hit latency of this level in CPU
+	// cycles, measured from the core. The first level's latency is
+	// assumed hidden by the core model (BaseCPI) and is never charged;
+	// deeper levels charge the delta over the previous level on the way
+	// down. Latencies must be non-decreasing across the stack.
+	LatencyCycles uint64
+	// Shared marks the level as one cache shared by every core;
+	// otherwise each core gets a private instance.
+	Shared bool
 }
 
 // DRAMConfig describes one DRAM device (a set of channels).
@@ -109,19 +129,106 @@ func (m *MemSysConfig) UnmarshalJSON(b []byte) error {
 
 // Config is the complete simulated system configuration.
 type Config struct {
-	CPU    CPUConfig
-	L1     CacheConfig
-	L2     CacheConfig
-	L3     CacheConfig
-	Fast   DRAMConfig // stacked DRAM
-	Slow   DRAMConfig // off-chip DRAM
-	OS     OSConfig
-	MemSys MemSysConfig
+	CPU CPUConfig
+	// CacheLevels is the cache hierarchy, ordered from the core
+	// outward. Any depth >= 1 is valid; the last entry is the LLC that
+	// filters accesses into the memory system. Legacy JSON documents
+	// using the fixed L1/L2/L3 keys (plus CPU.L1Latency/L2Latency/
+	// L3Latency) still decode into this field; mixing legacy keys with
+	// CacheLevels in one document is an error.
+	CacheLevels []CacheLevelConfig
+	Fast        DRAMConfig // stacked DRAM
+	Slow        DRAMConfig // off-chip DRAM
+	OS          OSConfig
+	MemSys      MemSysConfig
 
 	// Scale divides both DRAM capacities (and should be matched by a
 	// proportional reduction of workload footprints). Scale 1 is the
 	// paper's full-size system. Scale must be a power of two.
 	Scale uint64
+}
+
+// LLC returns the last (memory-side) cache level, or a zero value when
+// no levels are configured.
+func (c Config) LLC() CacheLevelConfig {
+	if len(c.CacheLevels) == 0 {
+		return CacheLevelConfig{}
+	}
+	return c.CacheLevels[len(c.CacheLevels)-1]
+}
+
+// Level returns the named cache level.
+func (c Config) Level(name string) (CacheLevelConfig, bool) {
+	for _, lv := range c.CacheLevels {
+		if lv.Name == name {
+			return lv, true
+		}
+	}
+	return CacheLevelConfig{}, false
+}
+
+// UnmarshalJSON decodes a configuration, accepting both the canonical
+// CacheLevels schema and the legacy fixed three-level keys (L1/L2/L3
+// objects plus CPU.L1Latency/L2Latency/L3Latency). Legacy keys overlay
+// the decode target's existing three-level stack (or, when the target
+// has a different shape, the unscaled Table I defaults), mirroring the
+// ClearOnModeSwitch key migration. A document naming both CacheLevels
+// and any legacy key is rejected: the two schemas would silently
+// shadow each other.
+func (c *Config) UnmarshalJSON(b []byte) error {
+	type plain Config // plain drops the method, avoiding recursion
+	p := plain(*c)    // preserve target values: absent keys keep them
+	if err := json.Unmarshal(b, &p); err != nil {
+		return err
+	}
+	var keys struct {
+		CacheLevels *json.RawMessage
+		L1, L2, L3  *CacheConfig
+		CPU         *struct {
+			L1Latency, L2Latency, L3Latency *uint64
+		}
+	}
+	if err := json.Unmarshal(b, &keys); err != nil {
+		return err
+	}
+	hasLegacy := keys.L1 != nil || keys.L2 != nil || keys.L3 != nil
+	var lat [3]*uint64
+	if keys.CPU != nil {
+		lat = [3]*uint64{keys.CPU.L1Latency, keys.CPU.L2Latency, keys.CPU.L3Latency}
+		for _, l := range lat {
+			hasLegacy = hasLegacy || l != nil
+		}
+	}
+	if hasLegacy && keys.CacheLevels != nil {
+		return errors.New("config: document mixes CacheLevels with legacy L1/L2/L3 keys; use one schema")
+	}
+	*c = Config(p)
+	if !hasLegacy {
+		return nil
+	}
+	// Overlay the legacy keys on a three-level base: the target's own
+	// stack when it already has the L1/L2/L3 shape (so partial legacy
+	// documents merge like any other nested struct), else Table I.
+	base := c.CacheLevels
+	if len(base) != 3 || base[0].Name != "L1" || base[1].Name != "L2" || base[2].Name != "L3" {
+		base = Default(1).CacheLevels
+	}
+	levels := make([]CacheLevelConfig, 3)
+	copy(levels, base)
+	for i, l := range []*CacheConfig{keys.L1, keys.L2, keys.L3} {
+		if l != nil {
+			levels[i].SizeBytes = l.SizeBytes
+			levels[i].Ways = l.Ways
+			levels[i].LineBytes = l.LineBytes
+		}
+	}
+	for i, l := range lat {
+		if l != nil {
+			levels[i].LatencyCycles = *l
+		}
+	}
+	c.CacheLevels = levels
+	return nil
 }
 
 // Default returns the Table I configuration at the given scale divisor.
@@ -144,18 +251,17 @@ func Default(scale uint64) Config {
 	}
 	c := Config{
 		CPU: CPUConfig{
-			Cores:     12,
-			FreqHz:    3.6e9,
-			BaseCPI:   0.33, // ~3-wide effective issue
-			MaxMLP:    4,
-			IssueBlk:  64,
-			L1Latency: 4,
-			L2Latency: 12,
-			L3Latency: 38,
+			Cores:    12,
+			FreqHz:   3.6e9,
+			BaseCPI:  0.33, // ~3-wide effective issue
+			MaxMLP:   4,
+			IssueBlk: 64,
 		},
-		L1: CacheConfig{SizeBytes: 32 * KB, Ways: 4, LineBytes: 64},
-		L2: CacheConfig{SizeBytes: l2, Ways: 8, LineBytes: 64},
-		L3: CacheConfig{SizeBytes: l3, Ways: 16, LineBytes: 64},
+		CacheLevels: []CacheLevelConfig{
+			{Name: "L1", SizeBytes: 32 * KB, Ways: 4, LineBytes: 64, LatencyCycles: 4},
+			{Name: "L2", SizeBytes: l2, Ways: 8, LineBytes: 64, LatencyCycles: 12},
+			{Name: "L3", SizeBytes: l3, Ways: 16, LineBytes: 64, LatencyCycles: 38, Shared: true},
+		},
 		Fast: DRAMConfig{
 			Name:          "stacked",
 			CapacityBytes: 4 * GB / scale,
@@ -243,17 +349,37 @@ func (c Config) Validate() error {
 	if c.CPU.MaxMLP <= 0 {
 		errs = append(errs, errors.New("config: CPU.MaxMLP must be positive"))
 	}
-	for _, cc := range []struct {
-		name string
-		c    CacheConfig
-	}{{"L1", c.L1}, {"L2", c.L2}, {"L3", c.L3}} {
-		if cc.c.LineBytes <= 0 || cc.c.SizeBytes <= 0 || cc.c.Ways <= 0 {
-			errs = append(errs, fmt.Errorf("config: %s cache parameters must be positive", cc.name))
+	if len(c.CacheLevels) == 0 {
+		errs = append(errs, errors.New("config: at least one cache level is required"))
+	}
+	names := make(map[string]bool, len(c.CacheLevels))
+	var prevLat uint64
+	for i, lv := range c.CacheLevels {
+		name := lv.Name
+		if name == "" {
+			errs = append(errs, fmt.Errorf("config: cache level %d must be named", i))
+			name = fmt.Sprintf("level %d", i)
+		} else if names[name] {
+			errs = append(errs, fmt.Errorf("config: duplicate cache level name %q", name))
+		}
+		names[name] = true
+		if lv.LineBytes <= 0 || lv.SizeBytes <= 0 || lv.Ways <= 0 {
+			errs = append(errs, fmt.Errorf("config: %s cache parameters must be positive", name))
 			continue
 		}
-		if cc.c.SizeBytes/(cc.c.Ways*cc.c.LineBytes) == 0 {
-			errs = append(errs, fmt.Errorf("config: %s cache smaller than one set", cc.name))
+		if lv.LineBytes&(lv.LineBytes-1) != 0 {
+			errs = append(errs, fmt.Errorf("config: %s line size must be a power of two", name))
 		}
+		if lv.SizeBytes/(lv.Ways*lv.LineBytes) == 0 {
+			errs = append(errs, fmt.Errorf("config: %s cache smaller than one set", name))
+		}
+		// The walk charges latency deltas on the way down, so the
+		// cumulative latencies must be non-decreasing.
+		if i > 0 && lv.LatencyCycles < prevLat {
+			errs = append(errs, fmt.Errorf("config: %s latency %d below the previous level's %d",
+				name, lv.LatencyCycles, prevLat))
+		}
+		prevLat = lv.LatencyCycles
 	}
 	for _, d := range []DRAMConfig{c.Fast, c.Slow} {
 		if d.CapacityBytes == 0 {

@@ -57,11 +57,16 @@ func TestScalePreservesRatios(t *testing.T) {
 
 func TestScaledCachesFloored(t *testing.T) {
 	c := Default(1 << 20)
-	if c.L2.SizeBytes < 64*KB {
-		t.Errorf("L2 scaled below floor: %d", c.L2.SizeBytes)
+	l2, ok := c.Level("L2")
+	if !ok || l2.SizeBytes < 64*KB {
+		t.Errorf("L2 scaled below floor: %+v", l2)
 	}
-	if c.L3.SizeBytes < 256*KB {
-		t.Errorf("L3 scaled below floor: %d", c.L3.SizeBytes)
+	l3, ok := c.Level("L3")
+	if !ok || l3.SizeBytes < 256*KB {
+		t.Errorf("L3 scaled below floor: %+v", l3)
+	}
+	if got := c.LLC(); got != l3 {
+		t.Errorf("LLC() = %+v, want the L3 level", got)
 	}
 }
 
@@ -97,7 +102,13 @@ func TestValidateCatchesErrors(t *testing.T) {
 		{"no cores", func(c *Config) { c.CPU.Cores = 0 }},
 		{"no freq", func(c *Config) { c.CPU.FreqHz = 0 }},
 		{"no MLP", func(c *Config) { c.CPU.MaxMLP = 0 }},
-		{"bad L1", func(c *Config) { c.L1.Ways = 0 }},
+		{"bad L1", func(c *Config) { c.CacheLevels[0].Ways = 0 }},
+		{"no cache levels", func(c *Config) { c.CacheLevels = nil }},
+		{"unnamed level", func(c *Config) { c.CacheLevels[1].Name = "" }},
+		{"duplicate level names", func(c *Config) { c.CacheLevels[1].Name = "L1" }},
+		{"line not power of two", func(c *Config) { c.CacheLevels[0].LineBytes = 48 }},
+		{"cache under one set", func(c *Config) { c.CacheLevels[0].SizeBytes = 64 }},
+		{"decreasing latency", func(c *Config) { c.CacheLevels[2].LatencyCycles = 1 }},
 		{"no fast capacity", func(c *Config) { c.Fast.CapacityBytes = 0 }},
 		{"no channels", func(c *Config) { c.Slow.Channels = 0 }},
 		{"bad segment", func(c *Config) { c.MemSys.SegmentBytes = 1000 }},

@@ -1,0 +1,135 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestCacheLevelsDecode proves the two config schemas converge: a
+// legacy fixed three-level document (L1/L2/L3 objects plus CPU latency
+// fields) and its CacheLevels rewrite construct identical hierarchies,
+// and a document that mixes the schemas is rejected.
+func TestCacheLevelsDecode(t *testing.T) {
+	legacy := `{
+		"L1": {"SizeBytes": 65536, "Ways": 8, "LineBytes": 64},
+		"L2": {"SizeBytes": 524288, "Ways": 8, "LineBytes": 64},
+		"L3": {"SizeBytes": 8388608, "Ways": 16, "LineBytes": 64},
+		"CPU": {"L1Latency": 3, "L2Latency": 14, "L3Latency": 40}
+	}`
+	modern := `{
+		"CacheLevels": [
+			{"Name": "L1", "SizeBytes": 65536, "Ways": 8, "LineBytes": 64, "LatencyCycles": 3},
+			{"Name": "L2", "SizeBytes": 524288, "Ways": 8, "LineBytes": 64, "LatencyCycles": 14},
+			{"Name": "L3", "SizeBytes": 8388608, "Ways": 16, "LineBytes": 64, "LatencyCycles": 40, "Shared": true}
+		]
+	}`
+	var oldC, newC Config
+	if err := json.Unmarshal([]byte(legacy), &oldC); err != nil {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	if err := json.Unmarshal([]byte(modern), &newC); err != nil {
+		t.Fatalf("CacheLevels decode: %v", err)
+	}
+	if !reflect.DeepEqual(oldC.CacheLevels, newC.CacheLevels) {
+		t.Errorf("schemas diverged:\nlegacy: %+v\nmodern: %+v", oldC.CacheLevels, newC.CacheLevels)
+	}
+
+	// Partial legacy keys overlay the decode target's stack in place,
+	// like any other nested struct field.
+	cfg := Default(1)
+	if err := json.Unmarshal([]byte(`{"L2": {"SizeBytes": 1048576, "Ways": 4, "LineBytes": 64}}`), &cfg); err != nil {
+		t.Fatalf("partial legacy decode: %v", err)
+	}
+	if cfg.CacheLevels[1].SizeBytes != 1048576 || cfg.CacheLevels[1].Ways != 4 {
+		t.Errorf("partial L2 overlay lost: %+v", cfg.CacheLevels[1])
+	}
+	if cfg.CacheLevels[0] != Default(1).CacheLevels[0] || cfg.CacheLevels[2] != Default(1).CacheLevels[2] {
+		t.Errorf("partial overlay disturbed untouched levels: %+v", cfg.CacheLevels)
+	}
+	if cfg.CacheLevels[1].LatencyCycles != 12 || !cfg.CacheLevels[2].Shared {
+		t.Errorf("overlay dropped base latency/sharing: %+v", cfg.CacheLevels)
+	}
+
+	// Absent keys keep the target's hierarchy untouched.
+	cfg = Default(256)
+	want := append([]CacheLevelConfig(nil), cfg.CacheLevels...)
+	if err := json.Unmarshal([]byte(`{"Scale": 256}`), &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg.CacheLevels, want) {
+		t.Errorf("decode without cache keys rewrote the hierarchy: %+v", cfg.CacheLevels)
+	}
+
+	// Mixing the schemas in one document must error, for every legacy key.
+	for _, doc := range []string{
+		`{"CacheLevels": [{"Name": "L1"}], "L1": {"SizeBytes": 1024, "Ways": 1, "LineBytes": 64}}`,
+		`{"CacheLevels": [{"Name": "L1"}], "L3": {"SizeBytes": 1024, "Ways": 1, "LineBytes": 64}}`,
+		`{"CacheLevels": [{"Name": "L1"}], "CPU": {"L2Latency": 10}}`,
+	} {
+		var c Config
+		err := json.Unmarshal([]byte(doc), &c)
+		if err == nil || !strings.Contains(err.Error(), "legacy") {
+			t.Errorf("mixed schemas not rejected (err %v): %s", err, doc)
+		}
+	}
+
+	// Marshal emits only the canonical schema.
+	b, err := json.Marshal(Default(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `"L1":`) || !strings.Contains(string(b), `"CacheLevels":`) {
+		t.Errorf("marshal leaked the legacy schema: %s", b)
+	}
+}
+
+// FuzzConfigDecode generates a legacy document and its CacheLevels
+// rewrite from one parameter tuple and requires both to decode to the
+// same hierarchy (or both to keep failing validation identically), and
+// the mixed document to error.
+func FuzzConfigDecode(f *testing.F) {
+	f.Add(32*KB, 4, 64, uint64(4), 256*KB, 8, uint64(12), 12*MB, 16, uint64(38))
+	f.Add(16*KB, 2, 32, uint64(2), 128*KB, 4, uint64(20), 4*MB, 8, uint64(44))
+	f.Add(1, 0, 0, uint64(0), 0, -3, uint64(9), 64, 1, uint64(1))
+	f.Fuzz(func(t *testing.T, s1, w1, line int, lat1 uint64, s2, w2 int, lat2 uint64, s3, w3 int, lat3 uint64) {
+		legacy := fmt.Sprintf(`{
+			"L1": {"SizeBytes": %d, "Ways": %d, "LineBytes": %d},
+			"L2": {"SizeBytes": %d, "Ways": %d, "LineBytes": %d},
+			"L3": {"SizeBytes": %d, "Ways": %d, "LineBytes": %d},
+			"CPU": {"L1Latency": %d, "L2Latency": %d, "L3Latency": %d}
+		}`, s1, w1, line, s2, w2, line, s3, w3, line, lat1, lat2, lat3)
+		modern := fmt.Sprintf(`{"CacheLevels": [
+			{"Name": "L1", "SizeBytes": %d, "Ways": %d, "LineBytes": %d, "LatencyCycles": %d},
+			{"Name": "L2", "SizeBytes": %d, "Ways": %d, "LineBytes": %d, "LatencyCycles": %d},
+			{"Name": "L3", "SizeBytes": %d, "Ways": %d, "LineBytes": %d, "LatencyCycles": %d, "Shared": true}
+		]}`, s1, w1, line, lat1, s2, w2, line, lat2, s3, w3, line, lat3)
+
+		oldC, newC := Default(1), Default(1)
+		oldErr := json.Unmarshal([]byte(legacy), &oldC)
+		newErr := json.Unmarshal([]byte(modern), &newC)
+		if (oldErr == nil) != (newErr == nil) {
+			t.Fatalf("decode disagreement: legacy %v, modern %v", oldErr, newErr)
+		}
+		if oldErr != nil {
+			return
+		}
+		// The legacy base stack is shared (L3); the rewrite says so
+		// explicitly, so the hierarchies must now match field for field.
+		if !reflect.DeepEqual(oldC.CacheLevels, newC.CacheLevels) {
+			t.Fatalf("hierarchies diverged:\nlegacy: %+v\nmodern: %+v", oldC.CacheLevels, newC.CacheLevels)
+		}
+		// Validation must agree too: the same machine is legal or not
+		// regardless of which schema described it.
+		if (oldC.Validate() == nil) != (newC.Validate() == nil) {
+			t.Fatalf("validation disagreement: legacy %v, modern %v", oldC.Validate(), newC.Validate())
+		}
+		// And the mixed document always errors.
+		var c Config
+		if err := json.Unmarshal([]byte(`{"CacheLevels": [], `+legacy[1:]), &c); err == nil {
+			t.Fatal("mixed schemas decoded without error")
+		}
+	})
+}

@@ -17,7 +17,7 @@ import (
 // two minutes with numastat; we sample once per ramp/hold step).
 func Fig3(o Options) (*stats.Table, error) {
 	o = o.Defaults()
-	cfg := config.Default(o.Scale)
+	cfg := o.Config()
 	osm, err := osmodel.New(osmodel.Config{
 		TotalBytes:      cfg.TotalCapacity(),
 		PageBytes:       uint64(cfg.OS.PageBytes),
@@ -94,7 +94,7 @@ func sweepWorkloads(o Options) []string {
 // each capacity and returns the raw results[capacityGB][workload].
 func capacitySweep(o Options) (map[uint64]map[string]*sim.Result, error) {
 	o = o.Defaults()
-	cfg := config.Default(o.Scale)
+	cfg := o.Config()
 	out := map[uint64]map[string]*sim.Result{}
 	for _, gb := range CapacityPoints {
 		out[gb] = map[string]*sim.Result{}

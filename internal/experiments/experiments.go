@@ -41,6 +41,11 @@ type Options struct {
 	// evaluation designs). Any name registered with policy.Register is
 	// valid; "flat" expands to the 20 GB and 24 GB DDR baselines.
 	Policies []sim.PolicyKind
+	// CacheLevels overrides the machine's cache hierarchy (nil = the
+	// scaled Table I three-level stack). Every driver resolves its
+	// levels from the resulting config, so a 2- or 4-level sweep needs
+	// no further plumbing.
+	CacheLevels []config.CacheLevelConfig
 	// Parallelism bounds concurrent simulations. Zero and negative
 	// values default to GOMAXPROCS (a negative value would otherwise
 	// panic constructing the semaphore channel).
@@ -72,6 +77,17 @@ func (o Options) Defaults() Options {
 		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return o
+}
+
+// Config resolves the machine configuration every driver simulates:
+// the scaled Table I defaults with the Options' cache-hierarchy
+// override applied.
+func (o Options) Config() config.Config {
+	cfg := config.Default(o.Scale)
+	if len(o.CacheLevels) > 0 {
+		cfg.CacheLevels = o.CacheLevels
+	}
+	return cfg
 }
 
 // profile fetches and scales a workload.
@@ -144,7 +160,7 @@ func RunMatrix(o Options) (*Matrix, error) {
 // every failure is reported, joined into one error.
 func RunMatrixContext(ctx context.Context, o Options) (*Matrix, error) {
 	o = o.Defaults()
-	cfg := config.Default(o.Scale)
+	cfg := o.Config()
 
 	pols := o.Policies
 	if len(pols) == 0 {

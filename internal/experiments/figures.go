@@ -206,7 +206,7 @@ func Fig2a(m *Matrix) *stats.Table {
 // one NUMA-flat run per workload per threshold.
 func RunAutoNUMA(o Options, thresholds []float64) (map[float64]map[string]*sim.Result, error) {
 	o = o.Defaults()
-	cfg := config.Default(o.Scale)
+	cfg := o.Config()
 	out := map[float64]map[string]*sim.Result{}
 	for _, th := range thresholds {
 		out[th] = map[string]*sim.Result{}
@@ -296,7 +296,7 @@ func Fig21(o Options) (*stats.Table, error) {
 		}
 		row := []any{wl}
 		for i, ratio := range ratios {
-			cfg, err := config.Default(o.Scale).WithRatio(ratio)
+			cfg, err := o.Config().WithRatio(ratio)
 			if err != nil {
 				return nil, err
 			}
@@ -325,7 +325,7 @@ func Fig23(o Options) (*stats.Table, error) {
 	o = o.Defaults()
 	t := stats.NewTable("ratio", "workload", "flat20", "flat24", "pom", "chameleon", "chameleon-opt")
 	for _, ratio := range []int{3, 7} {
-		cfg, err := config.Default(o.Scale).WithRatio(ratio)
+		cfg, err := o.Config().WithRatio(ratio)
 		if err != nil {
 			return nil, err
 		}
@@ -368,15 +368,21 @@ func Fig23(o Options) (*stats.Table, error) {
 	return t, nil
 }
 
-// Table1 renders the simulated configuration.
+// Table1 renders the simulated configuration. The cache rows follow
+// whatever hierarchy the options resolve to, not a fixed L1/L2/L3.
 func Table1(o Options) *stats.Table {
 	o = o.Defaults()
-	c := config.Default(o.Scale)
+	c := o.Config()
 	t := stats.NewTable("component", "configuration")
 	t.AddRow("Cores", fmt.Sprintf("%d @ %.1f GHz, MLP %d", c.CPU.Cores, c.CPU.FreqHz/1e9, c.CPU.MaxMLP))
-	t.AddRow("L1(I/D)", fmt.Sprintf("%d KB, %d-way, %d B lines", c.L1.SizeBytes/config.KB, c.L1.Ways, c.L1.LineBytes))
-	t.AddRow("L2", fmt.Sprintf("%d KB, %d-way", c.L2.SizeBytes/config.KB, c.L2.Ways))
-	t.AddRow("L3", fmt.Sprintf("%d KB (shared), %d-way", c.L3.SizeBytes/config.KB, c.L3.Ways))
+	for _, lv := range c.CacheLevels {
+		share := "private"
+		if lv.Shared {
+			share = "shared"
+		}
+		t.AddRow(lv.Name, fmt.Sprintf("%d KB, %d-way, %d B lines, %d cycles, %s",
+			lv.SizeBytes/config.KB, lv.Ways, lv.LineBytes, lv.LatencyCycles, share))
+	}
 	t.AddRow("Stacked DRAM", fmt.Sprintf("%d MB, %d ch, %d-bit @ %.1f GHz (%.1f GB/s)",
 		c.Fast.CapacityBytes/config.MB, c.Fast.Channels, c.Fast.BusWidthBits, c.Fast.BusFreqHz/1e9, c.Fast.PeakBandwidth()/1e9))
 	t.AddRow("Off-chip DRAM", fmt.Sprintf("%d MB, %d ch, %d-bit @ %.1f GHz (%.1f GB/s)",

@@ -1,0 +1,209 @@
+// Package hier implements the composable cache-hierarchy pipeline: an
+// ordered stack of set-associative levels built from configuration,
+// with one entry point that owns the walk, the latency accounting and
+// the cascaded dirty-victim writebacks that used to be hand-rolled for
+// a fixed L1/L2/L3 stack inside the simulator.
+//
+// # Level model
+//
+// A Hierarchy is constructed from []config.CacheLevelConfig, ordered
+// from the core outward. Each level is either private (one cache
+// instance per core) or shared (a single instance all cores hit).
+// LatencyCycles is the cumulative hit latency from the core; the walk
+// charges the delta over the previous level before probing each level,
+// and the first level's latency is never charged — it is assumed hidden
+// by the core model's BaseCPI, matching the inline walk this package
+// replaced. The deltas are hoisted at construction so Access performs
+// no per-level arithmetic beyond one addition.
+//
+// # Writeback semantics
+//
+// A miss that evicts a dirty line cascades the victim into the next
+// level down as a write, repeating while the fills keep evicting dirty
+// lines; a dirty victim leaving the last level is returned to the
+// caller (stamped with the walk time at which it spilled) for the
+// memory system to absorb. Writebacks are modelled as FREE in core
+// time: evictions are off the load's critical path and are absorbed by
+// write buffers in real hardware, so no stall cycles are charged for
+// the cascade — but the spilled victims still reach the memory
+// controller, where they reserve bank and bus occupancy and so degrade
+// demand-access latency under bandwidth pressure. That occupancy-only
+// model is pinned by TestWritebackCascadeIsFreeOfCoreTime.
+package hier
+
+import (
+	"fmt"
+
+	"chameleon/internal/cache"
+	"chameleon/internal/config"
+	"chameleon/internal/stats"
+)
+
+// Victim is a dirty line that spilled out of the last cache level and
+// must be written back to memory.
+type Victim struct {
+	// Addr is the base address of the spilled line.
+	Addr uint64
+	// Now is the core-local time at which the writeback issues: the
+	// walk time accumulated up to the level whose eviction started the
+	// cascade.
+	Now uint64
+}
+
+// level is one constructed hierarchy level.
+type level struct {
+	name   string
+	delta  uint64 // latency charged before probing this level, hoisted
+	shared bool
+	caches []*cache.Cache // one entry when shared, else one per core
+}
+
+func (l *level) cache(core int) *cache.Cache {
+	if l.shared {
+		return l.caches[0]
+	}
+	return l.caches[core]
+}
+
+// Hierarchy is a constructed cache stack for a fixed set of cores. It
+// is not safe for concurrent use: the simulator advances one core at a
+// time, and the victim buffer returned by Access is reused.
+type Hierarchy struct {
+	levels  []level
+	victims []Victim // scratch reused across Access calls
+}
+
+// New builds the hierarchy for the given core count. Private levels get
+// one cache instance per core; shared levels one in total.
+func New(levels []config.CacheLevelConfig, cores int) (*Hierarchy, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("hier: at least one cache level is required")
+	}
+	if cores <= 0 {
+		return nil, fmt.Errorf("hier: core count must be positive, got %d", cores)
+	}
+	h := &Hierarchy{levels: make([]level, len(levels))}
+	var prev uint64
+	for i, lc := range levels {
+		// delta[0] = 0 (the first level's latency hides under BaseCPI),
+		// delta[1] = lat[1], delta[i] = lat[i] - lat[i-1] beyond.
+		var delta uint64
+		if i > 0 {
+			if lc.LatencyCycles < prev {
+				return nil, fmt.Errorf("hier: level %s latency %d below the previous level's %d",
+					lc.Name, lc.LatencyCycles, prev)
+			}
+			delta = lc.LatencyCycles - prev
+			if i == 1 {
+				delta = lc.LatencyCycles
+			}
+		}
+		n := cores
+		if lc.Shared {
+			n = 1
+		}
+		caches := make([]*cache.Cache, n)
+		for j := range caches {
+			c, err := cache.New(lc.Name, lc.SizeBytes, lc.Ways, lc.LineBytes)
+			if err != nil {
+				return nil, fmt.Errorf("hier: %w", err)
+			}
+			caches[j] = c
+		}
+		h.levels[i] = level{name: lc.Name, delta: delta, shared: lc.Shared, caches: caches}
+		prev = lc.LatencyCycles
+	}
+	return h, nil
+}
+
+// Access walks the hierarchy for one reference by core to phys at local
+// time now. It returns the stall cycles the walk adds to the core clock
+// (the cumulative latency down to the hit level, or to the LLC on a
+// full miss), whether the reference missed every level, and the dirty
+// victims that spilled past the last level. The victims slice is reused
+// by the next Access call; consume it before walking again.
+func (h *Hierarchy) Access(core int, phys uint64, write bool, now uint64) (stall uint64, llcMiss bool, victims []Victim) {
+	h.victims = h.victims[:0]
+	for i := range h.levels {
+		lv := &h.levels[i]
+		stall += lv.delta
+		hit, v, hv := lv.cache(core).Access(phys, write && i == 0)
+		if hit {
+			return stall, false, h.victims
+		}
+		if hv && v.Dirty {
+			h.spill(core, v.Addr, i+1, now+stall)
+		}
+	}
+	return stall, true, h.victims
+}
+
+// spill cascades a dirty victim into level from and deeper: each fill
+// that evicts another dirty line continues the cascade, and a dirty
+// line leaving the last level is recorded for the memory system. The
+// cascade charges no core time (see the package comment), so every hop
+// carries the originating walk time now.
+func (h *Hierarchy) spill(core int, addr uint64, from int, now uint64) {
+	for i := from; i < len(h.levels); i++ {
+		hit, v, hv := h.levels[i].cache(core).Access(addr, true)
+		if hit || !hv || !v.Dirty {
+			return
+		}
+		addr = v.Addr
+	}
+	h.victims = append(h.victims, Victim{Addr: addr, Now: now})
+}
+
+// NumLevels returns the hierarchy depth.
+func (h *Hierarchy) NumLevels() int { return len(h.levels) }
+
+// LevelName returns level i's configured name.
+func (h *Hierarchy) LevelName(i int) string { return h.levels[i].name }
+
+// Cache exposes the underlying cache of one level for one core (the
+// core index is ignored for shared levels). It exists for tests and the
+// simulator's inline reference walk.
+func (h *Hierarchy) Cache(level, core int) *cache.Cache {
+	return h.levels[level].cache(core)
+}
+
+// LevelStats returns level i's statistics aggregated across cores
+// (private levels sum their per-core instances).
+func (h *Hierarchy) LevelStats(i int) cache.Stats {
+	var sum cache.Stats
+	for _, c := range h.levels[i].caches {
+		s := c.Stats()
+		sum.Accesses += s.Accesses
+		sum.Hits += s.Hits
+		sum.Misses += s.Misses
+		sum.Writebacks += s.Writebacks
+	}
+	return sum
+}
+
+// ResetStats clears every level's statistics without flushing contents.
+func (h *Hierarchy) ResetStats() {
+	for _, lv := range h.levels {
+		for _, c := range lv.caches {
+			c.ResetStats()
+		}
+	}
+}
+
+// Sources returns one stats.Source per level, aggregated across cores,
+// named after the level. Snapshots are taken lazily at call time.
+func (h *Hierarchy) Sources() []stats.Source {
+	out := make([]stats.Source, len(h.levels))
+	for i := range h.levels {
+		out[i] = levelSource{h: h, i: i}
+	}
+	return out
+}
+
+type levelSource struct {
+	h *Hierarchy
+	i int
+}
+
+func (s levelSource) Name() string             { return s.h.levels[s.i].name }
+func (s levelSource) Snapshot() stats.Snapshot { return s.h.LevelStats(s.i).Snapshot() }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"chameleon/internal/config"
 	"chameleon/internal/sim"
 )
 
@@ -259,10 +260,57 @@ func TestSpecValidation(t *testing.T) {
 		"bad kind":         {Kind: "exotic"},
 		"bad scale":        {Policy: "pom", Workload: "bwaves", Scale: 3},
 		"negative timeout": {Policy: "pom", Workload: "bwaves", TimeoutMS: -1},
+		"bad cache levels": {Policy: "pom", Workload: "bwaves", CacheLevels: []config.CacheLevelConfig{
+			{Name: "L1", SizeBytes: 32 * config.KB, Ways: 4, LineBytes: 48, LatencyCycles: 4}}},
+		"shrinking cache latency": {Policy: "pom", Workload: "bwaves", CacheLevels: []config.CacheLevelConfig{
+			{Name: "L1", SizeBytes: 32 * config.KB, Ways: 4, LineBytes: 64, LatencyCycles: 4},
+			{Name: "LLC", SizeBytes: 1 * config.MB, Ways: 16, LineBytes: 64, LatencyCycles: 2, Shared: true}}},
 	} {
 		if _, err := s.Submit(spec); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
+	}
+}
+
+// TestCacheLevelsJob: a spec carrying an explicit hierarchy runs behind
+// that stack — the result reports the custom levels — and the hierarchy
+// is part of the job's content address.
+func TestCacheLevelsJob(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1})
+	spec := fastSpec(7)
+	spec.CacheLevels = []config.CacheLevelConfig{
+		{Name: "L1", SizeBytes: 16 * config.KB, Ways: 2, LineBytes: 64, LatencyCycles: 4},
+		{Name: "LLC", SizeBytes: 256 * config.KB, Ways: 8, LineBytes: 64, LatencyCycles: 30, Shared: true},
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, j, 30*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("state = %s (err %q), want done", st.State, st.Error)
+	}
+	body, err := j.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got sim.Result
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Levels) != 2 || got.Levels[0].Level != "L1" || got.Levels[1].Level != "LLC" {
+		t.Fatalf("result levels = %+v, want the submitted 2-level stack", got.Levels)
+	}
+	def, err := fastSpec(7).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Hash() == norm.Hash() {
+		t.Fatal("cache hierarchy must change the job's content address")
 	}
 }
 

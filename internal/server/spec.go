@@ -54,6 +54,10 @@ type JobSpec struct {
 	Instructions uint64 `json:"instructions,omitempty"`
 	Warmup       uint64 `json:"warmup,omitempty"` // 0 = default 4M; use 1 to disable
 	Seed         uint64 `json:"seed,omitempty"`
+	// CacheLevels replaces the default three-level cache hierarchy with
+	// an explicit stack (ordered from the core outward; see
+	// config.CacheLevelConfig). Empty keeps the scaled default.
+	CacheLevels []config.CacheLevelConfig `json:"cache_levels,omitempty"`
 
 	// TimeoutMS bounds the job's run time once started (wall clock).
 	// 0 takes the server default. Excluded from the cache hash: the
@@ -84,6 +88,16 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	}
 	if s.TimeoutMS < 0 {
 		return s, fmt.Errorf("timeout_ms must be non-negative, got %d", s.TimeoutMS)
+	}
+	if len(s.CacheLevels) > 0 {
+		// Reject malformed hierarchies at submission, not inside a
+		// worker: overlay the stack on an otherwise-valid config so
+		// Validate's findings can only concern the cache levels.
+		cfg := config.Default(s.Scale)
+		cfg.CacheLevels = s.CacheLevels
+		if err := cfg.Validate(); err != nil {
+			return s, fmt.Errorf("cache_levels: %w", err)
+		}
 	}
 	switch s.Kind {
 	case KindSim:
@@ -158,6 +172,9 @@ func (s JobSpec) Hash() string {
 // SimOptions converts a normalized sim spec into simulator options.
 func (s JobSpec) SimOptions() (sim.Options, error) {
 	cfg := config.Default(s.Scale)
+	if len(s.CacheLevels) > 0 {
+		cfg.CacheLevels = s.CacheLevels
+	}
 	if s.Ratio > 0 {
 		var err error
 		if cfg, err = cfg.WithRatio(s.Ratio); err != nil {
@@ -192,6 +209,7 @@ func (s JobSpec) MatrixOptions() experiments.Options {
 		Seed:         s.Seed,
 		Workloads:    s.Workloads,
 		Parallelism:  s.Parallelism,
+		CacheLevels:  s.CacheLevels,
 	}
 	for _, p := range s.Policies {
 		o.Policies = append(o.Policies, sim.PolicyKind(p))

@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"testing"
+
+	"chameleon/internal/config"
+	"chameleon/internal/workload"
+)
+
+// BenchmarkStep measures the end-to-end per-reference cost of the
+// simulation loop on the default three-level hierarchy — translation,
+// the cache walk, and the memory system. It is the regression gate for
+// the composable hierarchy pipeline: the ns/op here must not regress
+// beyond noise against the pre-pipeline inline walk (BENCH_hier.json
+// records the before/after pair).
+func BenchmarkStep(b *testing.B) {
+	b.Run("pipeline", func(b *testing.B) { benchStep(b, false) })
+	b.Run("inline", func(b *testing.B) { benchStep(b, true) })
+}
+
+func benchStep(b *testing.B, inline bool) {
+	const scale = 512
+	cfg := config.Default(scale)
+	prof, err := workload.ByName("bwaves")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof = prof.Scale(scale)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys, err := New(Options{
+			Config:   cfg,
+			Policy:   PolicyChameleonOpt,
+			Workload: prof,
+			Seed:     7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.inlineWalk = inline
+		if _, err := sys.Run(20_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

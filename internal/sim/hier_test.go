@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"chameleon/internal/config"
+	"chameleon/internal/policy"
+	"chameleon/internal/trace"
+	"chameleon/internal/workload"
+)
+
+// TestHierarchyEquivalence: the composable hierarchy pipeline must
+// reproduce the pre-refactor inline L1/L2/L3 walk bit for bit, for
+// EVERY registered policy — same IPC, MPKI, hit rates, per-level stats,
+// device queues and remapping state. walkInline restates the seed
+// code over the hierarchy's own caches (see run.go), so a DeepEqual of
+// whole Results is the strongest equivalence the engine can state.
+func TestHierarchyEquivalence(t *testing.T) {
+	const scale = 512
+	run := func(t *testing.T, name string, inline bool) *Result {
+		t.Helper()
+		cfg := config.Default(scale)
+		prof, err := workload.ByName("cloverleaf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{
+			Config:              cfg,
+			Policy:              PolicyKind(name),
+			Workload:            prof.Scale(scale),
+			Seed:                31,
+			WarmupInstructions:  300_000,
+			TimelineEpochCycles: 500_000,
+			// Allocation churn drives ISA notifications and mode
+			// switches mid-run, exercising the walk under remapping.
+			PhaseAllocBytes:        64 * config.KB,
+			PhaseEveryInstructions: 40_000,
+		}
+		desc, err := policy.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if desc.RequiresBaseline {
+			opts.BaselineBytes = 24 * config.GB / scale
+		}
+		sys, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.inlineWalk = inline
+		res, err := sys.Run(100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, name := range policy.Names() {
+		t.Run(name, func(t *testing.T) {
+			pipelined := run(t, name, false)
+			inline := run(t, name, true)
+			if !reflect.DeepEqual(pipelined, inline) {
+				t.Errorf("hierarchy pipeline diverged from the inline walk:\npipeline: %+v\ninline:   %+v",
+					pipelined, inline)
+			}
+		})
+	}
+}
+
+// TestMixWorkloadNames: under Options.Mix the result must name every
+// application, not silently report Mix[0] — per core the profile it
+// ran, and the joined mix in Result.Workload.
+func TestMixWorkloadNames(t *testing.T) {
+	const scale = 512
+	cfg := config.Default(scale)
+	bwaves, err := workload.ByName("bwaves")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leslie, err := workload.ByName("leslie3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(Options{
+		Config:   cfg,
+		Policy:   PolicyChameleon,
+		Workload: bwaves.Scale(scale), // validation fallback; Mix drives the cores
+		Mix:      []trace.Profile{bwaves.Scale(scale), leslie.Scale(scale)},
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "bwaves+leslie3d" {
+		t.Errorf("Result.Workload = %q, want the joined mix name", res.Workload)
+	}
+	for i, cr := range res.Cores {
+		want := "bwaves"
+		if i%2 == 1 {
+			want = "leslie3d"
+		}
+		if cr.Workload != want {
+			t.Errorf("core %d workload = %q, want %q", i, cr.Workload, want)
+		}
+	}
+}
+
+// TestSingleWorkloadName pins the non-mix naming: Result.Workload and
+// every CoreResult carry the profile's name.
+func TestSingleWorkloadName(t *testing.T) {
+	const scale = 512
+	prof, err := workload.ByName("bwaves")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(Options{
+		Config:   config.Default(scale),
+		Policy:   PolicyPoM,
+		Workload: prof.Scale(scale),
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "bwaves" {
+		t.Errorf("Result.Workload = %q, want bwaves", res.Workload)
+	}
+	for i, cr := range res.Cores {
+		if cr.Workload != "bwaves" {
+			t.Errorf("core %d workload = %q, want bwaves", i, cr.Workload)
+		}
+	}
+}
+
+// TestResultLevels: a run on the default config reports one LevelResult
+// per configured level, in hierarchy order, with inclusive activity
+// (each level's accesses bounded by the previous level's misses + its
+// writeback fills) and lower-cased per-level snapshot namespaces.
+func TestResultLevels(t *testing.T) {
+	const scale = 512
+	prof, err := workload.ByName("bwaves")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(Options{
+		Config:   config.Default(scale),
+		Policy:   PolicyChameleonOpt,
+		Workload: prof.Scale(scale),
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != 3 {
+		t.Fatalf("got %d levels, want 3", len(res.Levels))
+	}
+	for i, want := range []string{"L1", "L2", "L3"} {
+		if res.Levels[i].Level != want {
+			t.Errorf("level %d named %q, want %q", i, res.Levels[i].Level, want)
+		}
+	}
+	l1, l3 := res.Levels[0].Stats, res.Levels[2].Stats
+	if l1.Accesses == 0 || l3.Accesses == 0 {
+		t.Fatalf("levels saw no traffic: %+v", res.Levels)
+	}
+	// The LLC sees every demand miss the cores counted, plus fills from
+	// dirty-victim cascades; its miss count can only exceed the cores'.
+	if l3.Misses < res.totalLLCMisses() {
+		t.Errorf("LLC misses %d below summed core LLC misses %d", l3.Misses, res.totalLLCMisses())
+	}
+	snap := res.Snapshot()
+	for _, key := range []string{"l1.accesses", "l2.misses", "l3.miss_rate"} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("snapshot missing per-level key %q", key)
+		}
+	}
+}
+
+// totalLLCMisses sums the per-core demand LLC misses.
+func (r *Result) totalLLCMisses() uint64 {
+	var n uint64
+	for _, c := range r.Cores {
+		n += c.LLCMisses
+	}
+	return n
+}

@@ -4,16 +4,21 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strings"
 
 	"chameleon/internal/addr"
 	"chameleon/internal/cache"
 	"chameleon/internal/dram"
+	"chameleon/internal/hier"
 	"chameleon/internal/osmodel"
 	"chameleon/internal/policy"
 )
 
 // CoreResult summarises one core's execution.
 type CoreResult struct {
+	// Workload names the profile this core ran (the Mix entry under
+	// Options.Mix, else Options.Workload).
+	Workload     string
 	Instructions uint64
 	Cycles       uint64
 	IPC          float64
@@ -22,9 +27,22 @@ type CoreResult struct {
 	FaultCycles  uint64
 }
 
+// LevelResult is one cache level's aggregate statistics (private levels
+// summed across cores). It implements stats.Source.
+type LevelResult struct {
+	Level string
+	cache.Stats
+}
+
+// Name implements stats.Source.
+func (l LevelResult) Name() string { return l.Level }
+
 // Result summarises a simulation run.
 type Result struct {
-	Policy   string
+	Policy string
+	// Workload names the run's profile; under Options.Mix it is every
+	// mix entry's name joined with "+" (see CoreResult.Workload for the
+	// per-core assignment).
 	Workload string
 	Cores    []CoreResult
 
@@ -42,7 +60,9 @@ type Result struct {
 	OS   osmodel.Stats
 	Fast dram.Stats
 	Slow dram.Stats
-	L3   cache.Stats
+	// Levels holds per-cache-level statistics in hierarchy order (the
+	// last entry is the LLC).
+	Levels []LevelResult
 
 	NUMATimeline []osmodel.EpochRecord
 	// Timeline is populated when Options.TimelineEpochCycles is set.
@@ -175,11 +195,9 @@ func (s *System) resetStats() {
 	s.ctrl.ResetStats()
 	s.fast.ResetStats()
 	s.slow.ResetStats()
-	s.l3.ResetStats()
+	s.hier.ResetStats()
 	s.os.ResetStats()
 	for _, c := range s.cores {
-		c.l1.ResetStats()
-		c.l2.ResetStats()
 		c.llcMisses = 0
 		c.faultCycles = 0
 		c.memStall = 0
@@ -301,22 +319,24 @@ func (s *System) step(c *core) {
 		}
 		p, write = uint64(phys), ref.Write
 	}
-	if hit, v, hv := c.l1.Access(p, write); hit {
-		return
-	} else if hv && v.Dirty {
-		s.writeback(c, v.Addr, 1)
+	var walkStall uint64
+	var llcMiss bool
+	var victims []hier.Victim
+	if s.inlineWalk {
+		walkStall, llcMiss, victims = s.walkInline(c.id, p, write, c.time)
+	} else {
+		walkStall, llcMiss, victims = s.hier.Access(c.id, p, write, c.time)
 	}
-	c.time += s.cfg.CPU.L2Latency
-	if hit, v, hv := c.l2.Access(p, false); hit {
-		return
-	} else if hv && v.Dirty {
-		s.writeback(c, v.Addr, 2)
+	// Dirty victims that spilled past the LLC reach the memory system
+	// at the walk time they were evicted; they reserve device occupancy
+	// but charge the core nothing (see the internal/hier package
+	// comment for why writebacks are modelled as free).
+	for i := range victims {
+		s.ctrl.Access(victims[i].Now, addr.Phys(victims[i].Addr), true)
 	}
-	c.time += s.cfg.CPU.L3Latency - s.cfg.CPU.L2Latency
-	if hit, v, hv := s.l3.Access(p, false); hit {
+	c.time += walkStall
+	if !llcMiss {
 		return
-	} else if hv && v.Dirty {
-		s.ctrl.Access(c.time, addr.Phys(v.Addr), true)
 	}
 
 	c.llcMisses++
@@ -352,30 +372,65 @@ func (s *System) phaseChurn(c *core) {
 	c.phaseHeld = !c.phaseHeld
 }
 
-// writeback propagates a dirty victim from level into the next level
-// down, cascading victims until they die out or reach memory.
-func (s *System) writeback(c *core, a uint64, level int) {
-	switch level {
-	case 1:
-		if hit, v, hv := c.l2.Access(a, true); !hit && hv && v.Dirty {
-			s.writeback(c, v.Addr, 2)
-		}
-	case 2:
-		if hit, v, hv := s.l3.Access(a, true); !hit && hv && v.Dirty {
-			s.ctrl.Access(c.time, addr.Phys(v.Addr), true)
+// walkInline is the pre-pipeline cache walk: the hand-rolled L1→L2→L3
+// sequence the simulator used before internal/hier, restated over the
+// hierarchy's own cache instances with the same signature as
+// hier.Access. It is kept as the reference implementation for
+// TestHierarchyEquivalence (System.inlineWalk routes step here) and the
+// walk benchmarks, and it assumes the default three-level
+// private/private/shared shape.
+func (s *System) walkInline(coreID int, p uint64, write bool, now uint64) (stall uint64, llcMiss bool, victims []hier.Victim) {
+	l1 := s.hier.Cache(0, coreID)
+	l2 := s.hier.Cache(1, coreID)
+	l3 := s.hier.Cache(2, coreID)
+	s.wbScratch = s.wbScratch[:0]
+	if hit, v, hv := l1.Access(p, write); hit {
+		return 0, false, s.wbScratch
+	} else if hv && v.Dirty {
+		if h2, v2, hv2 := l2.Access(v.Addr, true); !h2 && hv2 && v2.Dirty {
+			if h3, v3, hv3 := l3.Access(v2.Addr, true); !h3 && hv3 && v3.Dirty {
+				s.wbScratch = append(s.wbScratch, hier.Victim{Addr: v3.Addr, Now: now})
+			}
 		}
 	}
+	stall = s.cfg.CacheLevels[1].LatencyCycles
+	if hit, v, hv := l2.Access(p, false); hit {
+		return stall, false, s.wbScratch
+	} else if hv && v.Dirty {
+		if h3, v3, hv3 := l3.Access(v.Addr, true); !h3 && hv3 && v3.Dirty {
+			s.wbScratch = append(s.wbScratch, hier.Victim{Addr: v3.Addr, Now: now + stall})
+		}
+	}
+	stall = s.cfg.CacheLevels[2].LatencyCycles
+	if hit, v, hv := l3.Access(p, false); hit {
+		return stall, false, s.wbScratch
+	} else if hv && v.Dirty {
+		s.wbScratch = append(s.wbScratch, hier.Victim{Addr: v.Addr, Now: now + stall})
+	}
+	return stall, true, s.wbScratch
 }
 
 func (s *System) collect(start, instr0, faults0 []uint64) *Result {
+	wl := s.opts.Workload.Name
+	if len(s.opts.Mix) > 0 {
+		// A consolidated mix has no single name; join the mix entries
+		// in assignment order so the result names every application.
+		names := make([]string, len(s.opts.Mix))
+		for i, p := range s.opts.Mix {
+			names[i] = p.Name
+		}
+		wl = strings.Join(names, "+")
+	}
 	r := &Result{
 		Policy:   s.ctrl.Name(),
-		Workload: s.opts.Workload.Name,
+		Workload: wl,
 		Ctrl:     s.ctrl.Stats(),
 		OS:       s.os.Stats(),
 		Fast:     s.fast.Stats(),
 		Slow:     s.slow.Stats(),
-		L3:       s.l3.Stats(),
+	}
+	for i := 0; i < s.hier.NumLevels(); i++ {
+		r.Levels = append(r.Levels, LevelResult{Level: s.hier.LevelName(i), Stats: s.hier.LevelStats(i)})
 	}
 	logSum := 0.0
 	var faultCycles, totalCycles uint64
@@ -383,6 +438,7 @@ func (s *System) collect(start, instr0, faults0 []uint64) *Result {
 		instr := c.instr - instr0[i]
 		cycles := c.time - start[i]
 		cr := CoreResult{
+			Workload:     c.stream.Profile().Name,
 			Instructions: instr,
 			Cycles:       cycles,
 			LLCMisses:    c.llcMisses,

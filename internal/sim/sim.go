@@ -1,6 +1,7 @@
 // Package sim is the discrete-event timing simulator that ties the
 // substrates together: synthetic cores drive reference streams through
-// a three-level cache hierarchy and the configured heterogeneous
+// a configurable N-level cache hierarchy (internal/hier; the default
+// reproduces the paper's three levels) and the configured heterogeneous
 // memory-system controller, with OS demand paging (and optional
 // AutoNUMA migration) in the translation path.
 //
@@ -15,9 +16,9 @@ import (
 	"math"
 
 	"chameleon/internal/addr"
-	"chameleon/internal/cache"
 	"chameleon/internal/config"
 	"chameleon/internal/dram"
+	"chameleon/internal/hier"
 	"chameleon/internal/osmodel"
 	"chameleon/internal/policy"
 	"chameleon/internal/trace"
@@ -102,8 +103,6 @@ type core struct {
 	id     int
 	stream *trace.Stream
 	proc   *osmodel.Process
-	l1     *cache.Cache
-	l2     *cache.Cache
 
 	time        uint64
 	instr       uint64
@@ -135,7 +134,7 @@ type System struct {
 	ctrl  policy.Controller
 	os    *osmodel.OS
 	auto  *osmodel.AutoNUMA
-	l3    *cache.Cache
+	hier  *hier.Hierarchy
 	cores []*core
 
 	baseCPIx1000 uint64
@@ -156,6 +155,13 @@ type System struct {
 	// linearSched routes execute through the O(cores) reference
 	// scheduler; settable only from package-internal tests/benchmarks.
 	linearSched bool
+	// inlineWalk routes the cache walk through the pre-pipeline inline
+	// L1/L2/L3 reference (walkInline); settable only from
+	// package-internal tests/benchmarks, and only meaningful on the
+	// default three-level private/private/shared shape.
+	inlineWalk bool
+	// wbScratch is walkInline's reusable victim buffer.
+	wbScratch []hier.Victim
 
 	nextEpoch uint64
 	timeline  []TimelinePoint
@@ -275,7 +281,7 @@ func New(opts Options) (*System, error) {
 		s.autoOn = true
 	}
 
-	if s.l3, err = cache.New("L3", cfg.L3.SizeBytes, cfg.L3.Ways, cfg.L3.LineBytes); err != nil {
+	if s.hier, err = hier.New(cfg.CacheLevels, copies); err != nil {
 		return nil, err
 	}
 	footprint := opts.Workload.FootprintBytes
@@ -292,20 +298,13 @@ func New(opts Options) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		l1, err := cache.New("L1", cfg.L1.SizeBytes, cfg.L1.Ways, cfg.L1.LineBytes)
-		if err != nil {
-			return nil, err
-		}
-		l2, err := cache.New("L2", cfg.L2.SizeBytes, cfg.L2.Ways, cfg.L2.LineBytes)
-		if err != nil {
-			return nil, err
-		}
-		s.cores = append(s.cores, &core{
-			id: i, stream: st, proc: s.os.NewProcess(), l1: l1, l2: l2,
-		})
+		s.cores = append(s.cores, &core{id: i, stream: st, proc: s.os.NewProcess()})
 	}
 	return s, nil
 }
+
+// Hierarchy exposes the cache stack (for tests).
+func (s *System) Hierarchy() *hier.Hierarchy { return s.hier }
 
 // isaAdapter forwards OS notifications to the controller.
 type isaAdapter struct{ c policy.Controller }

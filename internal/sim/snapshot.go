@@ -1,15 +1,23 @@
 package sim
 
-import "chameleon/internal/stats"
+import (
+	"strings"
+
+	"chameleon/internal/stats"
+)
+
+// LevelResult carries its level's stats as a Source.
+var _ stats.Source = LevelResult{}
 
 // Name implements stats.Source: the controller name of the run.
 func (r *Result) Name() string { return r.Policy }
 
 // Snapshot implements stats.Source: the run's headline scalars plus
 // every substrate counter, namespaced by subsystem ("ctrl.swaps",
-// "dram_fast.row_hits", ...). This is the one metric shape consumed by
-// the server's expvar surface, the experiment figure emitters, and the
-// CLI's counter dump.
+// "dram_fast.row_hits", "l3.misses", ...). Cache levels contribute one
+// namespace each, keyed by the lower-cased level name, so the server's
+// expvar surface, the experiment figure emitters, and the CLI's counter
+// dump follow whatever hierarchy the run was configured with.
 func (r *Result) Snapshot() stats.Snapshot {
 	s := stats.Snapshot{
 		"ipc_geomean":         r.GeoMeanIPC,
@@ -24,6 +32,8 @@ func (r *Result) Snapshot() stats.Snapshot {
 	s.Merge("os", r.OS.Snapshot())
 	s.Merge("dram_fast", r.Fast.Snapshot())
 	s.Merge("dram_slow", r.Slow.Snapshot())
-	s.Merge("l3", r.L3.Snapshot())
+	for _, lv := range r.Levels {
+		s.Merge(strings.ToLower(lv.Level), lv.Snapshot())
+	}
 	return s
 }
