@@ -37,10 +37,12 @@ package chameleon
 
 import (
 	"context"
+	"io"
 
 	"chameleon/internal/config"
 	"chameleon/internal/dram"
 	"chameleon/internal/experiments"
+	"chameleon/internal/memtrace"
 	"chameleon/internal/osmodel"
 	"chameleon/internal/policy"
 	"chameleon/internal/server"
@@ -153,6 +155,64 @@ func NewTraceStream(p Profile, seed uint64) (*TraceStream, error) {
 
 // Workloads lists the Table II profile names.
 func Workloads() []string { return workload.Names() }
+
+// Binary trace capture & replay (internal/memtrace). Any run is
+// recordable by attaching a TraceWriter to Options.TraceSink; the
+// resulting file replays as a first-class workload via UseWorkload
+// ("replay:<file>.ctrace") and reproduces the recorded run bit for bit
+// under the same options. See cmd/chameleon-trace for the tooling.
+type (
+	// TraceWriter streams references into the versioned binary trace
+	// format; it implements the Options.TraceSink interface.
+	TraceWriter = memtrace.Writer
+	// RecordedTrace is a loaded, fully validated trace recording.
+	RecordedTrace = memtrace.Trace
+	// TraceHeader is a recording's decoded header.
+	TraceHeader = memtrace.Header
+	// TraceSummary aggregates a recording (refs, writes, footprint).
+	TraceSummary = memtrace.Summary
+	// RefSource is a per-core reference stream (synthetic generator or
+	// trace replay) consumed by the simulator.
+	RefSource = trace.Source
+	// RefSink observes per-core references as a run consumes them.
+	RefSink = trace.Sink
+)
+
+// NewTraceWriter wraps w in a binary trace encoder. Attach it to
+// Options.TraceSink, run the simulation, then Close it.
+func NewTraceWriter(w io.Writer) *TraceWriter { return memtrace.NewWriter(w) }
+
+// LoadTrace reads and fully validates a recorded trace file.
+func LoadTrace(path string) (*RecordedTrace, error) { return memtrace.LoadFile(path) }
+
+// ParseTrace validates an in-memory recording.
+func ParseTrace(data []byte) (*RecordedTrace, error) { return memtrace.Parse(data) }
+
+// TraceStat summarises a recording in one validating pass.
+func TraceStat(r io.Reader) (TraceSummary, error) { return memtrace.Stat(r) }
+
+// UseWorkload resolves a workload name into opts: a Table II profile
+// name attaches the synthetic profile scaled by scale, and a
+// "replay:<file>.ctrace" name loads the recording and attaches its
+// per-core replay sources (replay footprints are already concrete, so
+// scale does not apply). Unknown names report the full catalogue.
+func UseWorkload(opts *Options, name string, scale uint64) error {
+	r, err := workload.Resolve(name)
+	if err != nil {
+		return err
+	}
+	if r.Trace != nil {
+		srcs, err := r.Trace.Sources()
+		if err != nil {
+			return err
+		}
+		opts.Sources = srcs
+		opts.Workload = r.Profile
+		return nil
+	}
+	opts.Workload = r.Profile.Scale(scale)
+	return nil
+}
 
 // AllocPolicy selects the OS frame-allocation order.
 type AllocPolicy = osmodel.AllocPolicy

@@ -41,6 +41,7 @@ func main() {
 		groupAware = flag.Bool("group-aware", false, "use the group-aware OS allocator (paper SVI-G)")
 		counters   = flag.Bool("counters", false, "dump every simulation counter (the unified stats snapshot)")
 		configPath = flag.String("config", "", "JSON config overlay (e.g. a CacheLevels hierarchy) applied to the scaled default")
+		record     = flag.String("record", "", "tee the run's reference stream to this binary trace file (replay with -workload replay:<file>)")
 	)
 	flag.Parse()
 
@@ -49,7 +50,7 @@ func main() {
 		instr: *instr, warmup: *warmup, ratio: *ratio, seed: *seed,
 		baselineGB: *baselineGB, autonuma: *autonuma,
 		energy: *energy, mix: *mix, groupAware: *groupAware,
-		counters: *counters, configPath: *configPath,
+		counters: *counters, configPath: *configPath, record: *record,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "chameleon-sim:", err)
 		os.Exit(1)
@@ -67,16 +68,14 @@ type runCfg struct {
 	groupAware           bool
 	counters             bool
 	configPath           string
+	record               string
 }
 
 func run(rc runCfg) error {
 	// Any registered design name is accepted; chameleon.New reports
 	// unknown names with the full valid set.
 	pk := chameleon.Policy(rc.policyName)
-	prof, err := chameleon.Workload(rc.wlName)
-	if err != nil {
-		return err
-	}
+	var err error
 	cfg := chameleon.DefaultConfig(rc.scale)
 	if rc.configPath != "" {
 		// The overlay decodes onto the scaled default, so a document may
@@ -101,9 +100,13 @@ func run(rc runCfg) error {
 	opts := chameleon.Options{
 		Config:             cfg,
 		Policy:             pk,
-		Workload:           prof.Scale(rc.scale),
 		Seed:               rc.seed,
 		WarmupInstructions: rc.warmup,
+	}
+	// "replay:<file>.ctrace" replays a recorded trace; catalogue names
+	// attach the scaled synthetic profile.
+	if err := chameleon.UseWorkload(&opts, rc.wlName, rc.scale); err != nil {
+		return err
 	}
 	if rc.mix != "" {
 		for _, name := range strings.Split(rc.mix, ",") {
@@ -124,6 +127,21 @@ func run(rc runCfg) error {
 		ga := chameleon.AllocGroupAware
 		opts.Alloc = &ga
 	}
+	var rec *chameleon.TraceWriter
+	var recFile *os.File
+	if rc.record != "" {
+		// Tee every per-core reference the run consumes (warm-up
+		// included) into a binary trace; the file replays this exact run
+		// via -workload replay:<file>.
+		if recFile, err = os.Create(rc.record); err != nil {
+			return err
+		}
+		defer recFile.Close()
+		rec = chameleon.NewTraceWriter(recFile)
+		rec.Meta = fmt.Sprintf("policy=%s seed=%d scale=%d instr=%d warmup=%d",
+			rc.policyName, rc.seed, rc.scale, rc.instr, rc.warmup)
+		opts.TraceSink = rec
+	}
 	sys, err := chameleon.New(opts)
 	if err != nil {
 		return err
@@ -131,6 +149,16 @@ func run(rc runCfg) error {
 	res, err := sys.Run(rc.instr)
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		// Close flushes the footer; a write failure anywhere in the run
+		// surfaces here.
+		if err := rec.Close(); err != nil {
+			return err
+		}
+		if err := recFile.Close(); err != nil {
+			return err
+		}
 	}
 
 	fmt.Printf("policy            %s\n", res.Policy)

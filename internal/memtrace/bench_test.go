@@ -1,0 +1,130 @@
+package memtrace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"chameleon/internal/trace"
+)
+
+// benchRefs generates one core's worth of realistic references from
+// the synthetic generator (the same distribution capture sees; the
+// profile mirrors the catalogue's cloverleaf at scale 512, restated
+// here because importing internal/workload would cycle).
+func benchRefs(b *testing.B, n int) []trace.Ref {
+	b.Helper()
+	prof := trace.Profile{
+		Name: "cloverleaf", FootprintBytes: 23 << 30 / 12 / 512,
+		TargetLLCMPKI: 30.33, RefPKI: 130, StreamFrac: 0.18,
+		HotFrac: 0.88, HotRegionFrac: 0.10, WriteFrac: 0.35, BurstLines: 20,
+	}
+	st, err := trace.NewStream(prof, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refs := make([]trace.Ref, n)
+	for i := range refs {
+		refs[i] = st.Next()
+	}
+	return refs
+}
+
+// encodeAll writes refs round-robin over cores and returns the bytes.
+func encodeAll(b *testing.B, refs []trace.Ref, cores int, w io.Writer) {
+	b.Helper()
+	enc := NewWriter(w)
+	if err := enc.Begin("bench", testProfilesB(cores)); err != nil {
+		b.Fatal(err)
+	}
+	for i, r := range refs {
+		enc.Emit(i%cores, r)
+	}
+	if err := enc.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// testProfilesB mirrors the test helper for benchmarks.
+func testProfilesB(n int) []trace.Profile {
+	out := make([]trace.Profile, n)
+	for i := range out {
+		out[i] = trace.Profile{Name: "wl", FootprintBytes: 1 << 20, RefPKI: 100}
+	}
+	return out
+}
+
+// BenchmarkTraceEncode measures encode throughput in encoded MB/s
+// (SetBytes is the on-disk size one op produces).
+func BenchmarkTraceEncode(b *testing.B) {
+	const cores = 8
+	refs := benchRefs(b, 1<<17)
+	var sized bytes.Buffer
+	encodeAll(b, refs, cores, &sized)
+	b.SetBytes(int64(sized.Len()))
+	b.ReportMetric(float64(sized.Len())/float64(len(refs)), "bytes/ref")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		encodeAll(b, refs, cores, io.Discard)
+	}
+}
+
+// BenchmarkTraceDecode measures the streaming Reader's full-file
+// decode throughput in encoded MB/s.
+func BenchmarkTraceDecode(b *testing.B) {
+	const cores = 8
+	refs := benchRefs(b, 1<<17)
+	var buf bytes.Buffer
+	encodeAll(b, refs, cores, &buf)
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out []trace.Ref
+		for {
+			_, rs, err := rd.Next(out[:0])
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			out = rs
+		}
+	}
+}
+
+// BenchmarkTraceReplay measures the replay hot path — Trace source
+// Next() in the steady state — in refs/s (SetBytes again reports
+// encoded MB/s for comparability).
+func BenchmarkTraceReplay(b *testing.B) {
+	refs := benchRefs(b, 1<<17)
+	var buf bytes.Buffer
+	encodeAll(b, refs, 1, &buf)
+	tr, err := Parse(buf.Bytes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srcs, err := tr.Sources()
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := int(tr.NumRefs())
+	for i := 0; i < n; i++ {
+		srcs[0].Next() // warm the block buffer
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < n; j++ {
+			srcs[0].Next()
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package memtrace implements a versioned, compact binary format for
+// memory-reference traces, with a streaming Writer/Reader pair that is
+// allocation-free in the steady state. A recorded trace turns any
+// simulation run into a reproducible artifact: replayed through
+// sim.Options.Sources it reproduces the original run bit for bit, and
+// externally captured reference streams become first-class workloads
+// next to the synthetic catalogue ("replay:<file>.ctrace").
+//
+// # Wire format
+//
+// A trace file is a header followed by CRC-framed record blocks and a
+// mandatory footer:
+//
+//	File   := Header Block* Footer
+//	Header := magic "CMTR" | uvarint version | str runName | str meta
+//	          | uvarint cores | cores × (str workload, uvarint footprint)
+//	          | uint32le CRC32-C of all preceding header bytes
+//	Block  := uvarint core | uvarint count | uvarint payloadLen
+//	          | payload | uint32le CRC32-C of the encoded block header
+//	          + payload
+//	Footer := a Block whose core field equals the header's core count;
+//	          its payload is cores × uvarint per-core ref totals
+//
+// where str is uvarint length + bytes. A block payload is count
+// references, each encoded as
+//
+//	uvarint(gap<<1 | write) , uvarint(zigzag(addrDelta))
+//
+// with addrDelta the signed difference from the previous reference's
+// address in the same block (the block's first delta is taken from
+// address 0), so every block decodes independently of its neighbours.
+// All varints are canonical (minimal length); the CRC is computed over
+// the canonical re-encoding, so a non-canonical file fails its CRC.
+//
+// Corruption anywhere — a flipped bit, a truncated tail, trailing
+// garbage, a missing footer — is reported as a *FormatError naming the
+// failing block and byte offset, never as silently wrong references.
+package memtrace
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// Magic opens every trace file.
+const Magic = "CMTR"
+
+// Version is the current format version. Readers reject files with a
+// newer version; older versions are decoded as long as they remain
+// representable (there are none yet).
+const Version = 1
+
+// Format sanity limits. They bound reader allocations so corrupt or
+// adversarial length fields fail loudly instead of attempting a
+// multi-gigabyte allocation.
+const (
+	maxNameLen    = 4096    // run/workload name bytes
+	maxMetaLen    = 1 << 20 // free-form metadata bytes
+	maxCores      = 1 << 14 // per-trace core streams
+	maxBlockRefs  = 1 << 22 // references per block
+	maxPayloadLen = 1 << 26 // block payload bytes
+	crcLen        = 4       // bytes of the little-endian CRC32-C frame
+)
+
+// castagnoli is the CRC polynomial used for all framing (hardware
+// accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CoreInfo describes one recorded per-core stream in the header.
+type CoreInfo struct {
+	// Workload names the profile the core ran when it was captured.
+	Workload string
+	// FootprintBytes is the core's virtual footprint, preserved so a
+	// replay prefaults and phase-churns exactly like the recorded run.
+	FootprintBytes uint64
+}
+
+// Header is the decoded trace file header.
+type Header struct {
+	// Version is the format version the file was written with.
+	Version int
+	// RunName names the run's workload (the Mix join for consolidated
+	// runs, e.g. "bwaves+leslie3d").
+	RunName string
+	// Meta is free-form provenance (e.g. "policy=chameleon seed=42").
+	// It does not influence replay.
+	Meta string
+	// Cores holds one entry per recorded core stream.
+	Cores []CoreInfo
+}
+
+// FormatError describes a malformed or corrupt trace file. Offset is
+// the byte position where decoding failed; Block is the zero-based
+// index of the failing block, or -1 for header errors.
+type FormatError struct {
+	Offset int64
+	Block  int
+	Msg    string
+}
+
+func (e *FormatError) Error() string {
+	if e.Block < 0 {
+		return fmt.Sprintf("memtrace: header (offset %d): %s", e.Offset, e.Msg)
+	}
+	return fmt.Sprintf("memtrace: block %d (offset %d): %s", e.Block, e.Offset, e.Msg)
+}
+
+// formatErrf builds a *FormatError.
+func formatErrf(off int64, block int, format string, args ...any) error {
+	return &FormatError{Offset: off, Block: block, Msg: fmt.Sprintf(format, args...)}
+}
+
+// zigzag maps a signed delta onto an unsigned varint-friendly value
+// (small magnitudes of either sign encode short).
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

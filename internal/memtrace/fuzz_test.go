@@ -1,0 +1,94 @@
+package memtrace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"chameleon/internal/trace"
+)
+
+// FuzzReader throws arbitrary bytes at every decode surface — the
+// streaming Reader, the replay loader, and the Stat pass. None may
+// panic, over-read, or allocate proportionally to a corrupt length
+// field; a valid prefix with a corrupt tail must fail with an error,
+// never return garbage references silently.
+func FuzzReader(f *testing.F) {
+	// Seed corpus: valid traces of a few shapes, plus systematic
+	// truncations and single-byte corruptions of one of them.
+	shapes := [][][]trace.Ref{
+		{genRefs(300, 1)},
+		{genRefs(1000, 2), genRefs(10, 3), nil},
+		{genRefs(5, 4), genRefs(5, 5)},
+	}
+	var base []byte
+	for i, perCore := range shapes {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.Meta = "fuzz"
+		w.BlockRefs = 64
+		if err := w.Begin("fuzz-run", testProfiles(len(perCore))); err != nil {
+			f.Fatal(err)
+		}
+		for c, refs := range perCore {
+			for _, r := range refs {
+				w.Emit(c, r)
+			}
+		}
+		if err := w.Close(); err != nil {
+			f.Fatal(err)
+		}
+		if i == 0 {
+			base = buf.Bytes()
+		}
+		f.Add(buf.Bytes())
+	}
+	for _, cut := range []int{1, 5, len(base) / 2, len(base) - 3} {
+		f.Add(base[:len(base)-cut])
+	}
+	for _, off := range []int{0, 4, 6, 20, len(base) / 2, len(base) - 2} {
+		mut := bytes.Clone(base)
+		mut[off] ^= 0x41
+		f.Add(mut)
+	}
+	// A handcrafted header with absurd length fields (must be rejected
+	// by the sanity limits, not malloc'd).
+	huge := []byte(Magic)
+	huge = binary.AppendUvarint(huge, Version)
+	huge = binary.AppendUvarint(huge, 1<<40) // runName length
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err == nil {
+			var refs []trace.Ref
+			var n uint64
+			for {
+				_, rs, err := rd.Next(refs[:0])
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					n = 1 // decoded-with-error: fine, as long as it reported
+					break
+				}
+				refs = rs
+			}
+			_ = n
+		}
+		if tr, err := Parse(data); err == nil {
+			// A fully valid fuzz input: replay must work and agree with
+			// the streaming decode's bookkeeping.
+			if srcs, err := tr.Sources(); err == nil {
+				for c, src := range srcs {
+					want := tr.CoreRefs(c)
+					for i := uint64(0); i < want; i++ {
+						src.Next()
+					}
+				}
+			}
+		}
+		_, _ = Stat(bytes.NewReader(data))
+	})
+}

@@ -1,0 +1,318 @@
+package memtrace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"chameleon/internal/trace"
+)
+
+// BlockInfo locates and sizes the most recently decoded block.
+type BlockInfo struct {
+	// Index is the zero-based position of the block in the file.
+	Index int
+	// Core is the stream the block belongs to.
+	Core int
+	// Count is the number of references in the block.
+	Count int
+	// PayloadOff and PayloadLen frame the block's payload bytes within
+	// the file.
+	PayloadOff int64
+	PayloadLen int
+}
+
+// Reader streams a trace file block by block, verifying every CRC. It
+// reuses the caller's reference buffer, so the steady-state decode loop
+// allocates nothing. Any structural problem — bad magic, an
+// unsupported version, a CRC mismatch, a truncated block, a missing
+// footer, trailing garbage, counts that disagree with the footer — is
+// returned as a *FormatError naming the failing block and offset.
+type Reader struct {
+	br  *bufio.Reader
+	hdr Header
+	off int64 // bytes consumed so far
+
+	block      int // index of the next block
+	counts     []uint64
+	payload    []byte // reused payload buffer
+	footerSeen bool
+	last       BlockInfo
+}
+
+// NewReader parses and validates the header. The Reader buffers r;
+// do not read from r while the Reader is in use.
+func NewReader(r io.Reader) (*Reader, error) {
+	rd := &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+	if err := rd.readHeader(); err != nil {
+		return nil, err
+	}
+	rd.counts = make([]uint64, len(rd.hdr.Cores))
+	return rd, nil
+}
+
+// Header returns the decoded file header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// LastBlock describes the block most recently returned by Next.
+func (r *Reader) LastBlock() BlockInfo { return r.last }
+
+// readHeader decodes and CRC-checks the header.
+func (r *Reader) readHeader() error {
+	var magic [len(Magic)]byte
+	if _, err := io.ReadFull(r.br, magic[:]); err != nil {
+		return formatErrf(0, -1, "not a trace file: %v", err)
+	}
+	crc := crc32.Checksum(magic[:], castagnoli)
+	r.off += int64(len(Magic))
+	if string(magic[:]) != Magic {
+		return formatErrf(0, -1, "bad magic %q (want %q)", magic, Magic)
+	}
+	ver, err := r.uvarint(&crc)
+	if err != nil {
+		return formatErrf(r.off, -1, "reading version: %v", err)
+	}
+	if ver == 0 || ver > Version {
+		return formatErrf(r.off, -1, "unsupported version %d (this reader speaks <= %d)", ver, Version)
+	}
+	r.hdr.Version = int(ver)
+	if r.hdr.RunName, err = r.str(&crc, maxNameLen); err != nil {
+		return formatErrf(r.off, -1, "reading run name: %v", err)
+	}
+	if r.hdr.Meta, err = r.str(&crc, maxMetaLen); err != nil {
+		return formatErrf(r.off, -1, "reading metadata: %v", err)
+	}
+	cores, err := r.uvarint(&crc)
+	if err != nil {
+		return formatErrf(r.off, -1, "reading core count: %v", err)
+	}
+	if cores == 0 || cores > maxCores {
+		return formatErrf(r.off, -1, "implausible core count %d", cores)
+	}
+	r.hdr.Cores = make([]CoreInfo, cores)
+	for i := range r.hdr.Cores {
+		if r.hdr.Cores[i].Workload, err = r.str(&crc, maxNameLen); err != nil {
+			return formatErrf(r.off, -1, "reading core %d workload: %v", i, err)
+		}
+		if r.hdr.Cores[i].FootprintBytes, err = r.uvarint(&crc); err != nil {
+			return formatErrf(r.off, -1, "reading core %d footprint: %v", i, err)
+		}
+	}
+	want, err := r.crcFrame()
+	if err != nil {
+		return formatErrf(r.off, -1, "reading header CRC: %v", err)
+	}
+	if crc != want {
+		return formatErrf(r.off, -1, "header CRC mismatch (computed %08x, stored %08x)", crc, want)
+	}
+	return nil
+}
+
+// Next decodes the next record block, appending its references to
+// refs[:len(refs)] and returning the grown slice (pass refs[:0] to
+// reuse the buffer). After the footer has validated, Next returns
+// io.EOF. Any other condition is a *FormatError.
+func (r *Reader) Next(refs []trace.Ref) (core int, out []trace.Ref, err error) {
+	if r.footerSeen {
+		return 0, refs, io.EOF
+	}
+	blockOff := r.off
+	crc := crc32.Checksum(nil, castagnoli)
+	coreU, err := r.uvarint(&crc)
+	if err != nil {
+		if errors.Is(err, io.EOF) && r.off == blockOff {
+			// Clean EOF at a block boundary, but no footer: the file was
+			// truncated at a frame edge.
+			return 0, refs, formatErrf(blockOff, r.block, "file ends without a footer (truncated?)")
+		}
+		return 0, refs, formatErrf(blockOff, r.block, "reading block core: %v", err)
+	}
+	count, err := r.uvarint(&crc)
+	if err != nil {
+		return 0, refs, formatErrf(blockOff, r.block, "reading block count: %v", err)
+	}
+	payloadLen, err := r.uvarint(&crc)
+	if err != nil {
+		return 0, refs, formatErrf(blockOff, r.block, "reading block length: %v", err)
+	}
+	isFooter := coreU == uint64(len(r.hdr.Cores))
+	if !isFooter && coreU > uint64(len(r.hdr.Cores)) {
+		return 0, refs, formatErrf(blockOff, r.block, "core %d out of range (header declares %d cores)", coreU, len(r.hdr.Cores))
+	}
+	if count > maxBlockRefs {
+		return 0, refs, formatErrf(blockOff, r.block, "implausible block count %d", count)
+	}
+	if payloadLen > maxPayloadLen {
+		return 0, refs, formatErrf(blockOff, r.block, "implausible block length %d", payloadLen)
+	}
+	if !isFooter && payloadLen < 2*count {
+		// Each reference takes at least two varint bytes.
+		return 0, refs, formatErrf(blockOff, r.block, "block length %d too small for %d references", payloadLen, count)
+	}
+	payloadOff := r.off
+	if cap(r.payload) < int(payloadLen) {
+		r.payload = make([]byte, payloadLen)
+	}
+	r.payload = r.payload[:payloadLen]
+	if n, err := io.ReadFull(r.br, r.payload); err != nil {
+		return 0, refs, formatErrf(blockOff, r.block, "block truncated after %d of %d payload bytes", n, payloadLen)
+	}
+	r.off += int64(payloadLen)
+	crc = crc32.Update(crc, castagnoli, r.payload)
+	want, err := r.crcFrame()
+	if err != nil {
+		return 0, refs, formatErrf(blockOff, r.block, "block truncated in its CRC frame")
+	}
+	if crc != want {
+		return 0, refs, formatErrf(blockOff, r.block, "CRC mismatch (computed %08x, stored %08x)", crc, want)
+	}
+
+	if isFooter {
+		if err := r.checkFooter(blockOff, count); err != nil {
+			return 0, refs, err
+		}
+		r.footerSeen = true
+		// The footer must be the last frame in the file.
+		if _, err := r.br.ReadByte(); err == nil {
+			return 0, refs, formatErrf(r.off, r.block, "trailing data after the footer")
+		} else if !errors.Is(err, io.EOF) {
+			return 0, refs, formatErrf(r.off, r.block, "reading past the footer: %v", err)
+		}
+		r.block++
+		return 0, refs, io.EOF
+	}
+
+	out, err = decodePayload(r.payload, int(count), refs)
+	if err != nil {
+		return 0, refs, formatErrf(blockOff, r.block, "core %d payload: %v", coreU, err)
+	}
+	r.counts[coreU] += count
+	r.last = BlockInfo{Index: r.block, Core: int(coreU), Count: int(count), PayloadOff: payloadOff, PayloadLen: int(payloadLen)}
+	r.block++
+	return int(coreU), out, nil
+}
+
+// checkFooter validates the footer payload against the references
+// actually decoded.
+func (r *Reader) checkFooter(blockOff int64, count uint64) error {
+	if count != uint64(len(r.hdr.Cores)) {
+		return formatErrf(blockOff, r.block, "footer declares %d cores, header %d", count, len(r.hdr.Cores))
+	}
+	pos := 0
+	for i := range r.hdr.Cores {
+		n, w := binary.Uvarint(r.payload[pos:])
+		if w <= 0 {
+			return formatErrf(blockOff, r.block, "footer count %d malformed", i)
+		}
+		pos += w
+		if n != r.counts[i] {
+			return formatErrf(blockOff, r.block, "core %d has %d references, footer promises %d (blocks missing?)", i, r.counts[i], n)
+		}
+	}
+	if pos != len(r.payload) {
+		return formatErrf(blockOff, r.block, "footer has %d trailing bytes", len(r.payload)-pos)
+	}
+	return nil
+}
+
+// Counts returns the per-core reference totals decoded so far.
+func (r *Reader) Counts() []uint64 {
+	out := make([]uint64, len(r.counts))
+	copy(out, r.counts)
+	return out
+}
+
+// Blocks returns how many blocks (including the footer) have decoded.
+func (r *Reader) Blocks() int { return r.block }
+
+// decodePayload decodes count references from a self-contained block
+// payload, appending to refs.
+func decodePayload(payload []byte, count int, refs []trace.Ref) ([]trace.Ref, error) {
+	pos := 0
+	var last uint64
+	for i := 0; i < count; i++ {
+		gw, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return refs, errorfRef(i, "gap varint malformed")
+		}
+		pos += n
+		du, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return refs, errorfRef(i, "address delta varint malformed")
+		}
+		pos += n
+		last += uint64(unzigzag(du))
+		refs = append(refs, trace.Ref{Gap: gw >> 1, VAddr: last, Write: gw&1 == 1})
+	}
+	if pos != len(payload) {
+		return refs, errorfRef(count, "%d trailing payload bytes", len(payload)-pos)
+	}
+	return refs, nil
+}
+
+// errorfRef prefixes a payload decode error with the failing ref index.
+func errorfRef(i int, format string, args ...any) error {
+	return fmt.Errorf("ref %d: %s", i, fmt.Sprintf(format, args...))
+}
+
+// uvarint reads a canonical uvarint, folding its bytes into crc.
+func (r *Reader) uvarint(crc *uint32) (uint64, error) {
+	var x uint64
+	var s uint
+	var buf [binary.MaxVarintLen64]byte
+	for i := 0; ; i++ {
+		if i == binary.MaxVarintLen64 {
+			return 0, errors.New("varint overflows 64 bits")
+		}
+		b, err := r.br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		r.off++
+		buf[i] = b
+		if b < 0x80 {
+			if i > 0 && b == 0 {
+				return 0, errors.New("non-canonical varint")
+			}
+			x |= uint64(b) << s
+			*crc = crc32.Update(*crc, castagnoli, buf[:i+1])
+			return x, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+		if s >= 64 {
+			return 0, errors.New("varint overflows 64 bits")
+		}
+	}
+}
+
+// str reads a uvarint-length-prefixed string bounded by maxLen.
+func (r *Reader) str(crc *uint32, maxLen int) (string, error) {
+	n, err := r.uvarint(crc)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(maxLen) {
+		return "", fmt.Errorf("length field %d exceeds the format limit %d", n, maxLen)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.br, b); err != nil {
+		return "", err
+	}
+	r.off += int64(n)
+	*crc = crc32.Update(*crc, castagnoli, b)
+	return string(b), nil
+}
+
+// crcFrame reads the little-endian CRC32 trailer of a frame.
+func (r *Reader) crcFrame() (uint32, error) {
+	var b [crcLen]byte
+	if _, err := io.ReadFull(r.br, b[:]); err != nil {
+		return 0, err
+	}
+	r.off += crcLen
+	return binary.LittleEndian.Uint32(b[:]), nil
+}

@@ -1,0 +1,182 @@
+package memtrace
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+
+	"chameleon/internal/trace"
+)
+
+// Trace is a fully validated in-memory recording, ready to replay.
+// Parse verifies every block's CRC and decodes every payload once up
+// front, so a corrupt file fails loudly at load time and replay can
+// run without error paths on the hot Next().
+type Trace struct {
+	hdr    Header
+	data   []byte
+	counts []uint64
+	// perCore[i] lists core i's blocks in stream order.
+	perCore [][]BlockInfo
+	blocks  int
+}
+
+// Parse validates data as a complete trace file and indexes its blocks
+// for replay. The Trace keeps a reference to data; do not mutate it.
+func Parse(data []byte) (*Trace, error) {
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{
+		hdr:     rd.Header(),
+		data:    data,
+		perCore: make([][]BlockInfo, len(rd.Header().Cores)),
+	}
+	var refs []trace.Ref
+	for {
+		core, rs, err := rd.Next(refs[:0])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		refs = rs // keep the grown buffer for the next block
+		t.perCore[core] = append(t.perCore[core], rd.LastBlock())
+	}
+	t.counts = rd.Counts()
+	t.blocks = rd.Blocks()
+	return t, nil
+}
+
+// LoadFile reads and parses a trace file.
+func LoadFile(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// Header returns the trace's decoded header.
+func (t *Trace) Header() Header { return t.hdr }
+
+// NumCores returns the number of recorded per-core streams.
+func (t *Trace) NumCores() int { return len(t.hdr.Cores) }
+
+// NumRefs returns the total recorded reference count.
+func (t *Trace) NumRefs() uint64 {
+	var n uint64
+	for _, c := range t.counts {
+		n += c
+	}
+	return n
+}
+
+// CoreRefs returns core's recorded reference count.
+func (t *Trace) CoreRefs(core int) uint64 { return t.counts[core] }
+
+// Blocks returns the file's block count (including the footer).
+func (t *Trace) Blocks() int { return t.blocks }
+
+// Size returns the file size in bytes.
+func (t *Trace) Size() int64 { return int64(len(t.data)) }
+
+// SHA256 returns the hex content hash of the raw file bytes, used to
+// key result caches on trace content rather than file path.
+func (t *Trace) SHA256() string {
+	sum := sha256.Sum256(t.data)
+	return hex.EncodeToString(sum[:])
+}
+
+// RunProfile synthesizes the run-level workload profile for feeding
+// sim.Options.Workload: the recorded run name with the largest per-core
+// footprint (sizing capacity checks), and neutral generator knobs —
+// replay never invokes the synthetic generator.
+func (t *Trace) RunProfile() trace.Profile {
+	var fp uint64
+	for _, c := range t.hdr.Cores {
+		fp = max(fp, c.FootprintBytes)
+	}
+	return replayProfile(t.hdr.RunName, fp)
+}
+
+// Sources builds one replay stream per recorded core, for
+// sim.Options.Sources. Each call returns fresh, independent cursors.
+// A core with no recorded references cannot replay (its first Next
+// would have nothing to return), so such traces are rejected.
+func (t *Trace) Sources() ([]trace.Source, error) {
+	out := make([]trace.Source, len(t.hdr.Cores))
+	for i := range out {
+		if t.counts[i] == 0 {
+			return nil, fmt.Errorf("memtrace: core %d recorded no references; cannot replay", i)
+		}
+		out[i] = &replaySource{
+			t:    t,
+			prof: replayProfile(t.hdr.Cores[i].Workload, t.hdr.Cores[i].FootprintBytes),
+			bl:   t.perCore[i],
+		}
+	}
+	return out, nil
+}
+
+// replayProfile wraps a recorded name and footprint in a profile that
+// passes validation; the generator-only knobs are neutral.
+func replayProfile(name string, footprint uint64) trace.Profile {
+	return trace.Profile{Name: name, FootprintBytes: footprint, RefPKI: 100}
+}
+
+// replaySource feeds one core's recorded references back in order,
+// decoding one block at a time into a reused buffer (allocation-free
+// once the buffer reaches the largest block's size). When the
+// recording is exhausted the cursor wraps to the beginning, so a
+// replay may legally run longer than the capture; within the recorded
+// length, replay reproduces the capture exactly.
+type replaySource struct {
+	t    *Trace
+	prof trace.Profile
+	bl   []BlockInfo
+	next int // index of the next block to decode
+	refs []trace.Ref
+	pos  int
+}
+
+// Profile implements trace.Source.
+func (s *replaySource) Profile() trace.Profile { return s.prof }
+
+// Next implements trace.Source.
+func (s *replaySource) Next() trace.Ref {
+	if s.pos == len(s.refs) {
+		s.advance()
+	}
+	r := s.refs[s.pos]
+	s.pos++
+	return r
+}
+
+// advance decodes the next block (wrapping at the end of the
+// recording) into the reused buffer.
+func (s *replaySource) advance() {
+	if s.next == len(s.bl) {
+		s.next = 0
+	}
+	b := s.bl[s.next]
+	payload := s.t.data[b.PayloadOff : b.PayloadOff+int64(b.PayloadLen)]
+	refs, err := decodePayload(payload, b.Count, s.refs[:0])
+	if err != nil {
+		// Parse decoded this exact payload successfully and data is
+		// immutable, so this is unreachable short of memory corruption.
+		panic(fmt.Sprintf("memtrace: replay of validated block %d failed: %v", b.Index, err))
+	}
+	s.refs = refs
+	s.pos = 0
+	s.next++
+}

@@ -1,0 +1,89 @@
+package memtrace
+
+import (
+	"io"
+
+	"chameleon/internal/trace"
+)
+
+// CoreSummary aggregates one core's recorded stream.
+type CoreSummary struct {
+	Workload       string
+	FootprintBytes uint64 // declared in the header
+	Refs           uint64
+	Writes         uint64
+	Instructions   uint64 // sum of reference gaps
+	MaxAddr        uint64 // highest referenced address
+}
+
+// Summary is the one-pass aggregate of a whole trace file.
+type Summary struct {
+	Header Header
+	Blocks int
+	Refs   uint64
+	Writes uint64
+	// Instructions is the total simulated instruction count the
+	// references span (sum of gaps across all cores).
+	Instructions uint64
+	// TouchedBytes is the span of the densest core's referenced
+	// addresses (max address + one cache line), a lower bound on the
+	// recorded footprint.
+	TouchedBytes uint64
+	PerCore      []CoreSummary
+}
+
+// WriteFraction returns the share of references that are writes.
+func (s Summary) WriteFraction() float64 {
+	if s.Refs == 0 {
+		return 0
+	}
+	return float64(s.Writes) / float64(s.Refs)
+}
+
+// Stat decodes the whole stream, verifying every CRC, and returns the
+// aggregate summary. It is the engine behind `chameleon-trace info`
+// and shares all validation with replay loading.
+func Stat(r io.Reader) (Summary, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return Summary{}, err
+	}
+	sum := Summary{Header: rd.Header(), PerCore: make([]CoreSummary, len(rd.Header().Cores))}
+	for i, c := range rd.Header().Cores {
+		sum.PerCore[i].Workload = c.Workload
+		sum.PerCore[i].FootprintBytes = c.FootprintBytes
+	}
+	var refs []trace.Ref
+	for {
+		core, rs, err := rd.Next(refs[:0])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Summary{}, err
+		}
+		refs = rs
+		cs := &sum.PerCore[core]
+		for _, ref := range refs {
+			cs.Refs++
+			cs.Instructions += ref.Gap
+			if ref.Write {
+				cs.Writes++
+			}
+			if ref.VAddr > cs.MaxAddr {
+				cs.MaxAddr = ref.VAddr
+			}
+		}
+	}
+	sum.Blocks = rd.Blocks()
+	for i := range sum.PerCore {
+		cs := sum.PerCore[i]
+		sum.Refs += cs.Refs
+		sum.Writes += cs.Writes
+		sum.Instructions += cs.Instructions
+		if cs.Refs > 0 {
+			sum.TouchedBytes = max(sum.TouchedBytes, cs.MaxAddr+64)
+		}
+	}
+	return sum, nil
+}

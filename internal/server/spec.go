@@ -10,6 +10,7 @@ import (
 
 	"chameleon/internal/config"
 	"chameleon/internal/experiments"
+	"chameleon/internal/memtrace"
 	"chameleon/internal/policy"
 	"chameleon/internal/sim"
 	"chameleon/internal/workload"
@@ -33,6 +34,19 @@ type JobSpec struct {
 	// Sim fields (Kind == "sim").
 	Policy   string `json:"policy,omitempty"`
 	Workload string `json:"workload,omitempty"`
+	// TracePath replays a server-side binary trace recording
+	// (internal/memtrace, see cmd/chameleon-trace) instead of a
+	// synthetic workload; mutually exclusive with Workload. A
+	// "replay:<path>" Workload normalizes into this field. The file is
+	// fully validated at submission and its content hash recorded in
+	// TraceSHA256, so the result cache keys on what the trace says, not
+	// where it lives.
+	TracePath string `json:"trace_path,omitempty"`
+	// TraceSHA256 is the hex content hash of the trace file, filled by
+	// Normalize (client-supplied values are overwritten). It is part of
+	// the cache hash — TracePath is not — so renaming a trace file
+	// still hits the cache and editing one misses it.
+	TraceSHA256 string `json:"trace_sha256,omitempty"`
 	// BaselineGB is the flat baseline's unscaled capacity (policy
 	// "flat" only; default 24).
 	BaselineGB uint64 `json:"baseline_gb,omitempty"`
@@ -108,11 +122,31 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		if err != nil {
 			return s, fmt.Errorf("unknown policy %q (one of %s)", s.Policy, policyNames())
 		}
-		if s.Workload == "" {
-			return s, fmt.Errorf("sim job requires a workload (see GET /v1/workloads)")
+		if path, ok := strings.CutPrefix(s.Workload, workload.ReplayPrefix); ok {
+			// Both spellings of a replay normalize identically, so they
+			// share one cache entry.
+			if s.TracePath != "" && s.TracePath != path {
+				return s, fmt.Errorf("workload %q and trace_path %q name different traces", s.Workload, s.TracePath)
+			}
+			s.TracePath, s.Workload = path, ""
 		}
-		if _, err := workload.ByName(s.Workload); err != nil {
-			return s, err
+		switch {
+		case s.TracePath != "":
+			if s.Workload != "" {
+				return s, fmt.Errorf("workload and trace_path are mutually exclusive")
+			}
+			tr, err := memtrace.LoadFile(s.TracePath)
+			if err != nil {
+				return s, fmt.Errorf("trace_path: %w", err)
+			}
+			s.TraceSHA256 = tr.SHA256()
+		case s.Workload == "":
+			return s, fmt.Errorf("sim job requires a workload (see GET /v1/workloads) or a trace_path")
+		default:
+			if _, err := workload.ByName(s.Workload); err != nil {
+				return s, err
+			}
+			s.TraceSHA256 = ""
 		}
 		if desc.RequiresBaseline {
 			if s.BaselineGB == 0 {
@@ -147,6 +181,7 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 			s.Parallelism = 0
 		}
 		s.Policy, s.Workload, s.BaselineGB, s.Ratio, s.TimelineEpochCycles = "", "", 0, 0, 0
+		s.TracePath, s.TraceSHA256 = "", ""
 	default:
 		return s, fmt.Errorf("unknown job kind %q (sim or matrix)", s.Kind)
 	}
@@ -160,6 +195,9 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 func (s JobSpec) Hash() string {
 	s.TimeoutMS = 0
 	s.Parallelism = 0
+	// A replay job is identified by the trace's content (TraceSHA256),
+	// not its filename: moving a recording keeps the cache warm.
+	s.TracePath = ""
 	b, err := json.Marshal(s) // struct marshal: fixed field order, canonical
 	if err != nil {
 		// JobSpec contains only plain data; Marshal cannot fail.
@@ -181,17 +219,37 @@ func (s JobSpec) SimOptions() (sim.Options, error) {
 			return sim.Options{}, err
 		}
 	}
-	prof, err := workload.ByName(s.Workload)
-	if err != nil {
-		return sim.Options{}, err
-	}
 	o := sim.Options{
 		Config:              cfg,
 		Policy:              sim.PolicyKind(s.Policy),
-		Workload:            prof.Scale(s.Scale),
 		Seed:                s.Seed,
 		WarmupInstructions:  s.Warmup,
 		TimelineEpochCycles: s.TimelineEpochCycles,
+	}
+	if s.TracePath != "" {
+		tr, err := memtrace.LoadFile(s.TracePath)
+		if err != nil {
+			return sim.Options{}, fmt.Errorf("trace_path: %w", err)
+		}
+		// The cache entry is keyed on the content seen at submission; a
+		// file that changed in between must not run under the old key.
+		if got := tr.SHA256(); got != s.TraceSHA256 {
+			return sim.Options{}, fmt.Errorf("trace_path: %s changed since submission (content hash %.12s, submitted %.12s)",
+				s.TracePath, got, s.TraceSHA256)
+		}
+		srcs, err := tr.Sources()
+		if err != nil {
+			return sim.Options{}, err
+		}
+		// Replay footprints are already concrete; Scale does not apply.
+		o.Workload = tr.RunProfile()
+		o.Sources = srcs
+	} else {
+		prof, err := workload.ByName(s.Workload)
+		if err != nil {
+			return sim.Options{}, err
+		}
+		o.Workload = prof.Scale(s.Scale)
 	}
 	if s.BaselineGB > 0 {
 		o.BaselineBytes = s.BaselineGB * config.GB / s.Scale

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"strings"
 
 	"chameleon/internal/addr"
 	"chameleon/internal/cache"
@@ -299,6 +298,9 @@ func (s *System) step(c *core) {
 		c.pendingValid = false
 	} else {
 		ref := c.stream.Next()
+		if s.sinkOn {
+			s.opts.TraceSink.Emit(c.id, ref)
+		}
 		c.instr += ref.Gap
 		c.time += ref.Gap * s.baseCPIx1000 / 1000
 
@@ -411,19 +413,9 @@ func (s *System) walkInline(coreID int, p uint64, write bool, now uint64) (stall
 }
 
 func (s *System) collect(start, instr0, faults0 []uint64) *Result {
-	wl := s.opts.Workload.Name
-	if len(s.opts.Mix) > 0 {
-		// A consolidated mix has no single name; join the mix entries
-		// in assignment order so the result names every application.
-		names := make([]string, len(s.opts.Mix))
-		for i, p := range s.opts.Mix {
-			names[i] = p.Name
-		}
-		wl = strings.Join(names, "+")
-	}
 	r := &Result{
 		Policy:   s.ctrl.Name(),
-		Workload: wl,
+		Workload: s.runName,
 		Ctrl:     s.ctrl.Stats(),
 		OS:       s.os.Stats(),
 		Fast:     s.fast.Stats(),

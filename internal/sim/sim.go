@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strings"
 
 	"chameleon/internal/addr"
 	"chameleon/internal/config"
@@ -92,6 +93,18 @@ type Options struct {
 	PhaseEveryInstructions uint64
 	// Seed makes the run deterministic.
 	Seed uint64
+	// TraceSink, when non-nil, receives every per-core reference the
+	// run consumes — warm-up included — in consumption order, making
+	// the run recordable (see internal/memtrace.Writer). Begin is
+	// called once during New with the resolved per-core profiles.
+	TraceSink trace.Sink `json:"-"`
+	// Sources supplies pre-built per-core reference streams: core i
+	// runs Sources[i], overriding the synthetic Workload/Mix/Copies
+	// stream construction (each source's Profile still validates, names
+	// the core's results and sizes prefaulting). This is how a recorded
+	// trace replays as a first-class workload; Mix cannot be combined
+	// with it.
+	Sources []trace.Source `json:"-"`
 	// Progress, when non-nil, receives every TimelinePoint as it is
 	// sampled during the measured run (requires TimelineEpochCycles).
 	// It is called from the simulation goroutine; long-running or
@@ -101,7 +114,7 @@ type Options struct {
 
 type core struct {
 	id     int
-	stream *trace.Stream
+	stream trace.Source
 	proc   *osmodel.Process
 
 	time        uint64
@@ -137,6 +150,11 @@ type System struct {
 	hier  *hier.Hierarchy
 	cores []*core
 
+	// runName is the result's workload label, fixed at construction:
+	// the profile name, the "+"-joined mix, or a replayed trace's
+	// recorded run name.
+	runName string
+
 	baseCPIx1000 uint64
 
 	// ran latches after the first Run/RunContext call: the caches,
@@ -151,6 +169,7 @@ type System struct {
 	phaseOn    bool // allocation-churn phases configured
 	timelineOn bool // timeline sampling configured
 	autoOn     bool // AutoNUMA engine attached
+	sinkOn     bool // trace capture attached
 
 	// linearSched routes execute through the O(cores) reference
 	// scheduler; settable only from package-internal tests/benchmarks.
@@ -180,6 +199,19 @@ func New(opts Options) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if len(opts.Sources) > 0 {
+		if len(opts.Mix) > 0 {
+			return nil, fmt.Errorf("sim: Sources and Mix are mutually exclusive")
+		}
+		if opts.Workload.Name == "" {
+			opts.Workload = opts.Sources[0].Profile()
+		}
+		for i, src := range opts.Sources {
+			if err := src.Profile().Validate(); err != nil {
+				return nil, fmt.Errorf("sim: source %d: %w", i, err)
+			}
+		}
+	}
 	if err := opts.Workload.Validate(); err != nil {
 		return nil, err
 	}
@@ -195,6 +227,11 @@ func New(opts Options) (*System, error) {
 				return nil, err
 			}
 		}
+	}
+	if len(opts.Sources) > 0 {
+		// A replayed trace fixes the core count: one recorded stream
+		// each, regardless of Copies.
+		copies = len(opts.Sources)
 	}
 	if copies > cfg.CPU.Cores {
 		return nil, fmt.Errorf("sim: %d copies exceed %d cores", copies, cfg.CPU.Cores)
@@ -284,21 +321,47 @@ func New(opts Options) (*System, error) {
 	if s.hier, err = hier.New(cfg.CacheLevels, copies); err != nil {
 		return nil, err
 	}
-	footprint := opts.Workload.FootprintBytes
-	perProc := footprint
+	var perProc uint64
+	for i := 0; i < copies; i++ {
+		var src trace.Source
+		if len(opts.Sources) > 0 {
+			src = opts.Sources[i]
+		} else {
+			prof := opts.Workload
+			if len(opts.Mix) > 0 {
+				prof = opts.Mix[i%len(opts.Mix)]
+			}
+			st, err := trace.NewStream(prof, opts.Seed+uint64(i)*7919+13)
+			if err != nil {
+				return nil, err
+			}
+			src = st
+		}
+		perProc = max(perProc, src.Profile().FootprintBytes)
+		s.cores = append(s.cores, &core{id: i, stream: src, proc: s.os.NewProcess()})
+	}
 	if uint64(copies)*perProc > osCfg.TotalBytes*4 {
 		return nil, fmt.Errorf("sim: footprint %d x%d implausibly exceeds capacity %d", perProc, copies, osCfg.TotalBytes)
 	}
-	for i := 0; i < copies; i++ {
-		prof := opts.Workload
-		if len(opts.Mix) > 0 {
-			prof = opts.Mix[i%len(opts.Mix)]
+	s.runName = opts.Workload.Name
+	if len(opts.Mix) > 0 {
+		// A consolidated mix has no single name; join the mix entries
+		// in assignment order so the result names every application.
+		names := make([]string, len(opts.Mix))
+		for i, p := range opts.Mix {
+			names[i] = p.Name
 		}
-		st, err := trace.NewStream(prof, opts.Seed+uint64(i)*7919+13)
-		if err != nil {
-			return nil, err
+		s.runName = strings.Join(names, "+")
+	}
+	if opts.TraceSink != nil {
+		profs := make([]trace.Profile, len(s.cores))
+		for i, c := range s.cores {
+			profs[i] = c.stream.Profile()
 		}
-		s.cores = append(s.cores, &core{id: i, stream: st, proc: s.os.NewProcess()})
+		if err := opts.TraceSink.Begin(s.runName, profs); err != nil {
+			return nil, fmt.Errorf("sim: trace sink: %w", err)
+		}
+		s.sinkOn = true
 	}
 	return s, nil
 }

@@ -69,6 +69,30 @@ type Ref struct {
 	Write bool
 }
 
+// Source produces one core's reference stream. *Stream (the synthetic
+// generator) and internal/memtrace's trace replay both implement it,
+// so the simulator drives synthetic and recorded workloads through the
+// same per-core interface.
+type Source interface {
+	// Next produces the next reference. Sources never run dry: the
+	// synthetic generator is infinite and trace replay wraps around.
+	Next() Ref
+	// Profile describes the stream (name, footprint, and — for
+	// synthetic sources — the generator knobs).
+	Profile() Profile
+}
+
+// Sink receives a run's per-core reference streams as they are
+// consumed, e.g. to record them (internal/memtrace's Writer). Begin is
+// called once, before any references flow, with the run's workload
+// name and the resolved per-core profiles; Emit is the hot path and
+// must not block or allocate. Emit-time failures latch inside the sink
+// and surface from its own close/flush API.
+type Sink interface {
+	Begin(runName string, cores []Profile) error
+	Emit(core int, r Ref)
+}
+
 // Stream generates the reference stream for one process.
 type Stream struct {
 	prof Profile

@@ -9,8 +9,10 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"chameleon/internal/config"
+	"chameleon/internal/memtrace"
 	"chameleon/internal/trace"
 )
 
@@ -61,14 +63,60 @@ func Profiles() []trace.Profile {
 	return out
 }
 
-// ByName fetches one profile.
+// ByName fetches one synthetic profile. Unknown names report the full
+// catalogue, mirroring how the policy registry reports unknown designs.
 func ByName(name string) (trace.Profile, error) {
 	for _, p := range profiles {
 		if p.Name == name {
 			return p, nil
 		}
 	}
-	return trace.Profile{}, fmt.Errorf("workload: unknown profile %q", name)
+	return trace.Profile{}, fmt.Errorf("workload: unknown profile %q (available: %s; or %s<file>.ctrace to replay a recorded trace)",
+		name, strings.Join(Names(), ", "), ReplayPrefix)
+}
+
+// ReplayPrefix marks a workload name as a recorded-trace replay:
+// "replay:<path>" resolves the file at <path> instead of the synthetic
+// catalogue.
+const ReplayPrefix = "replay:"
+
+// IsReplay reports whether name selects a trace replay.
+func IsReplay(name string) bool { return strings.HasPrefix(name, ReplayPrefix) }
+
+// Resolved is a workload name resolved against the catalogue: either a
+// synthetic Table II profile or a recorded trace ready to replay.
+type Resolved struct {
+	// Profile is the run-level profile: the synthetic profile at full
+	// footprint (callers scale it to their machine), or for a replay
+	// the trace's synthesized run profile (already concrete — never
+	// scale a replay).
+	Profile trace.Profile
+	// Trace is non-nil for replay workloads; its Sources() feed
+	// sim.Options.Sources.
+	Trace *memtrace.Trace
+}
+
+// Resolve looks up a workload by name, accepting both catalogue names
+// and "replay:<path>" trace recordings. Errors always list the
+// available catalogue names.
+func Resolve(name string) (Resolved, error) {
+	if path, ok := strings.CutPrefix(name, ReplayPrefix); ok {
+		if path == "" {
+			return Resolved{}, fmt.Errorf("workload: %q names no trace file (want %s<file>.ctrace; available synthetic profiles: %s)",
+				name, ReplayPrefix, strings.Join(Names(), ", "))
+		}
+		t, err := memtrace.LoadFile(path)
+		if err != nil {
+			return Resolved{}, fmt.Errorf("workload: replay %w (available synthetic profiles: %s)",
+				err, strings.Join(Names(), ", "))
+		}
+		return Resolved{Profile: t.RunProfile(), Trace: t}, nil
+	}
+	p, err := ByName(name)
+	if err != nil {
+		return Resolved{}, err
+	}
+	return Resolved{Profile: p}, nil
 }
 
 // HighFootprint returns the 12 workloads used in the capacity studies

@@ -1,9 +1,15 @@
 package workload
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"chameleon/internal/config"
+	"chameleon/internal/memtrace"
+	"chameleon/internal/trace"
 )
 
 // tableII is the paper's Table II: LLC-MPKI and memory footprint in GB
@@ -52,9 +58,85 @@ func TestAllProfilesValid(t *testing.T) {
 	}
 }
 
+// TestByNameUnknown: an unknown workload error lists the full
+// catalogue and mentions the replay form, mirroring how the policy
+// registry reports unknown designs.
 func TestByNameUnknown(t *testing.T) {
-	if _, err := ByName("nope"); err == nil {
-		t.Error("unknown workload should fail")
+	_, err := ByName("nope")
+	if err == nil {
+		t.Fatal("unknown workload should fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"nope"`) {
+		t.Errorf("error %q does not name the offending workload", msg)
+	}
+	for _, n := range Names() {
+		if !strings.Contains(msg, n) {
+			t.Errorf("error %q does not list catalogue entry %q", msg, n)
+		}
+	}
+	if !strings.Contains(msg, ReplayPrefix) {
+		t.Errorf("error %q does not mention the %s form", msg, ReplayPrefix)
+	}
+}
+
+// TestResolveReplayErrors: malformed replay: names fail with errors
+// that still list the available catalogue.
+func TestResolveReplayErrors(t *testing.T) {
+	for _, name := range []string{"replay:", "replay:/no/such/file.ctrace"} {
+		_, err := Resolve(name)
+		if err == nil {
+			t.Errorf("Resolve(%q) should fail", name)
+			continue
+		}
+		for _, n := range Names() {
+			if !strings.Contains(err.Error(), n) {
+				t.Errorf("Resolve(%q) error %q does not list catalogue entry %q", name, err, n)
+				break
+			}
+		}
+	}
+	// A corrupt file reports the memtrace format diagnosis.
+	path := filepath.Join(t.TempDir(), "bad.ctrace")
+	if err := os.WriteFile(path, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resolve(ReplayPrefix + path); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("Resolve of a corrupt file = %v, want a bad-magic format error", err)
+	}
+}
+
+// TestResolveRoundTrip: catalogue names and replay: paths resolve
+// through the one entry point.
+func TestResolveRoundTrip(t *testing.T) {
+	r, err := Resolve("bwaves")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trace != nil || r.Profile.Name != "bwaves" {
+		t.Errorf("synthetic resolve = {%q, trace %v}", r.Profile.Name, r.Trace != nil)
+	}
+
+	var buf bytes.Buffer
+	w := memtrace.NewWriter(&buf)
+	prof := trace.Profile{Name: "captured", FootprintBytes: 1 << 20, RefPKI: 100}
+	if err := w.Begin("captured", []trace.Profile{prof}); err != nil {
+		t.Fatal(err)
+	}
+	w.Emit(0, trace.Ref{Gap: 1, VAddr: 64})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.ctrace")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Resolve(ReplayPrefix + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Trace == nil || rr.Profile.Name != "captured" {
+		t.Errorf("replay resolve = {%q, trace %v}, want the recorded run", rr.Profile.Name, rr.Trace != nil)
 	}
 }
 
