@@ -271,10 +271,15 @@ type (
 	Client = server.Client
 )
 
-// Job lifecycle states.
+// Job lifecycle states. Remote and claimed occur only on clustered
+// servers: a remote job was forwarded to its ring owner and is
+// mirrored locally; a claimed job was stolen off the queue by an idle
+// peer.
 const (
 	JobQueued   = server.StateQueued
 	JobRunning  = server.StateRunning
+	JobRemote   = server.StateRemote
+	JobClaimed  = server.StateClaimed
 	JobDone     = server.StateDone
 	JobFailed   = server.StateFailed
 	JobCanceled = server.StateCanceled

@@ -1,0 +1,122 @@
+// Package cluster is a stdlib-only (raft-free) clustering layer for
+// chamd: versioned push/pull gossip membership over HTTP, a
+// consistent-hash ring with virtual nodes for routing content-
+// addressed jobs to owners, and small JSON transport helpers the
+// server builds its peer protocol (result-cache fill, work stealing)
+// on top of. There is no coordinator: every node runs the same code
+// and the ring is a pure function of the locally converged view.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-node point count on the ring. 64
+// points keeps ownership within a few percent of uniform for small
+// clusters while rebuilds stay trivially cheap.
+const DefaultVirtualNodes = 64
+
+// Ring is an immutable consistent-hash ring over node IDs. Build one
+// with NewRing whenever membership changes; lookups are lock-free.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+	nodes  []string    // distinct node IDs, sorted
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// ringHash maps an arbitrary string to a ring position. SHA-256 keeps
+// placement independent of Go's per-process map/hash seeds, so every
+// node computes identical ownership from an identical member list.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring with vnodes virtual points per node (<=0
+// takes DefaultVirtualNodes). Duplicate node IDs are collapsed.
+func NewRing(vnodes int, nodes []string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{vnodes: vnodes}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: ringHash(n + "#" + strconv.Itoa(v)),
+				node: n,
+			})
+		}
+	}
+	sort.Strings(r.nodes)
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the distinct node IDs on the ring, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Len returns the number of distinct nodes on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owners returns up to n distinct nodes responsible for key, walking
+// clockwise from the key's position: the first entry is the owner,
+// the rest are replicas. n is clamped to the node count.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for range r.points {
+		if i == len(r.points) {
+			i = 0
+		}
+		if node := r.points[i].node; !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+			if len(out) == n {
+				break
+			}
+		}
+		i++
+	}
+	return out
+}
+
+// Owner returns the single node responsible for key ("" on an empty
+// ring).
+func (r *Ring) Owner(key string) string {
+	o := r.Owners(key, 1)
+	if len(o) == 0 {
+		return ""
+	}
+	return o[0]
+}

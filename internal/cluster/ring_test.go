@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	r := NewRing(64, []string{"n1", "n2", "n3"})
+	if r.Len() != 3 {
+		t.Fatalf("ring has %d nodes, want 3", r.Len())
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owners := r.Owners(key, 2)
+		if len(owners) != 2 || owners[0] == owners[1] {
+			t.Fatalf("owners(%s) = %v, want 2 distinct", key, owners)
+		}
+		// Lookups are pure: same ring, same key, same owners.
+		if again := r.Owners(key, 2); !reflect.DeepEqual(owners, again) {
+			t.Fatalf("owners(%s) unstable: %v then %v", key, owners, again)
+		}
+	}
+	if got := r.Owners("k", 99); len(got) != 3 {
+		t.Fatalf("owners clamped = %v, want all 3 nodes", got)
+	}
+}
+
+func TestRingIndependentOfInputOrderAndDuplicates(t *testing.T) {
+	a := NewRing(32, []string{"n1", "n2", "n3"})
+	b := NewRing(32, []string{"n3", "n1", "n2", "n1", ""})
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("owner(%s) differs across construction orders: %s vs %s",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingMinimalReshuffle: removing one node must only move keys that
+// node owned; keys owned by survivors stay put. This is the property
+// that makes the cluster cache survive membership churn.
+func TestRingMinimalReshuffle(t *testing.T) {
+	full := NewRing(64, []string{"n1", "n2", "n3"})
+	without := NewRing(64, []string{"n1", "n2"})
+	moved, kept := 0, 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before, after := full.Owner(key), without.Owner(key)
+		if before == "n3" {
+			if after == "n3" {
+				t.Fatalf("key %s still owned by removed node", key)
+			}
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %s moved from surviving node %s to %s", key, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	r := NewRing(0, nodes) // default vnode count
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("node %s owns %.1f%% of keys (counts %v); virtual nodes not balancing", n, 100*share, counts)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if o := NewRing(8, nil).Owners("k", 2); o != nil {
+		t.Fatalf("empty ring owners = %v, want nil", o)
+	}
+	if NewRing(8, nil).Owner("k") != "" {
+		t.Fatal("empty ring owner should be empty")
+	}
+	one := NewRing(8, []string{"solo"})
+	if got := one.Owners("k", 2); len(got) != 1 || got[0] != "solo" {
+		t.Fatalf("single-node owners = %v", got)
+	}
+}

@@ -7,12 +7,17 @@ import (
 
 // resultCache is a bounded, content-addressed LRU cache of completed
 // job results, keyed by JobSpec.Hash. The simulator is deterministic,
-// so a hash hit can be returned without re-running anything.
+// so a hash hit can be returned without re-running anything. The
+// cache is bounded twice over: by entry count and by total payload
+// bytes — a few thousand large matrix results must not exhaust the
+// process even when the entry cap alone would admit them.
 type resultCache struct {
-	mu      sync.Mutex
-	max     int
-	entries map[string]*list.Element
-	order   *list.List // front = most recently used
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64 // <= 0: no byte bound
+	bytes      int64
+	entries    map[string]*list.Element
+	order      *list.List // front = most recently used
 }
 
 type cacheEntry struct {
@@ -20,20 +25,26 @@ type cacheEntry struct {
 	result []byte
 }
 
-// newResultCache builds a cache bounded to max entries (min 1).
-func newResultCache(max int) *resultCache {
-	if max < 1 {
-		max = 1
+// newResultCache builds a cache bounded to maxEntries results (min 1)
+// and maxBytes total payload (<= 0 disables the byte bound). A single
+// result larger than maxBytes is still admitted — the bound then
+// holds it alone.
+func newResultCache(maxEntries int, maxBytes int64) *resultCache {
+	if maxEntries < 1 {
+		maxEntries = 1
 	}
 	return &resultCache{
-		max:     max,
-		entries: make(map[string]*list.Element),
-		order:   list.New(),
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		entries:    make(map[string]*list.Element),
+		order:      list.New(),
 	}
 }
 
-// Get returns the cached result bytes for hash, if present, and marks
-// the entry recently used.
+// Get returns a copy of the cached result bytes for hash, if present,
+// and marks the entry recently used. Callers own the returned slice:
+// handing out the internal buffer would let one caller's mutation
+// corrupt every later hit (and, with peer fill, other nodes).
 func (c *resultCache) Get(hash string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -42,24 +53,31 @@ func (c *resultCache) Get(hash string) ([]byte, bool) {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).result, true
+	return append([]byte(nil), el.Value.(*cacheEntry).result...), true
 }
 
-// Put stores a result, evicting the least recently used entry when
-// over capacity.
+// Put stores a copy of result, evicting least recently used entries
+// while either bound is exceeded.
 func (c *resultCache) Put(hash string, result []byte) {
+	result = append([]byte(nil), result...)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[hash]; ok {
-		el.Value.(*cacheEntry).result = result
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(result)) - int64(len(e.result))
+		e.result = result
 		c.order.MoveToFront(el)
-		return
+	} else {
+		c.entries[hash] = c.order.PushFront(&cacheEntry{hash: hash, result: result})
+		c.bytes += int64(len(result))
 	}
-	c.entries[hash] = c.order.PushFront(&cacheEntry{hash: hash, result: result})
-	for c.order.Len() > c.max {
+	for c.order.Len() > 1 &&
+		(c.order.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
 		last := c.order.Back()
 		c.order.Remove(last)
-		delete(c.entries, last.Value.(*cacheEntry).hash)
+		e := last.Value.(*cacheEntry)
+		c.bytes -= int64(len(e.result))
+		delete(c.entries, e.hash)
 	}
 }
 
@@ -68,4 +86,18 @@ func (c *resultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// Bytes returns the total cached payload size.
+func (c *resultCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Stats returns entry count and payload bytes in one lock.
+func (c *resultCache) Stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len(), c.bytes
 }

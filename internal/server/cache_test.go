@@ -1,13 +1,14 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
 )
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, 0)
 	c.Put("a", []byte("ra"))
 	c.Put("b", []byte("rb"))
 	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
@@ -29,7 +30,7 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCacheUpdateInPlace(t *testing.T) {
-	c := newResultCache(4)
+	c := newResultCache(4, 0)
 	c.Put("k", []byte("v1"))
 	c.Put("k", []byte("v2"))
 	if got, _ := c.Get("k"); string(got) != "v2" {
@@ -38,10 +39,75 @@ func TestCacheUpdateInPlace(t *testing.T) {
 	if c.Len() != 1 {
 		t.Fatalf("len = %d, want 1", c.Len())
 	}
+	if b := c.Bytes(); b != 2 {
+		t.Fatalf("bytes = %d, want 2 after in-place update", b)
+	}
+}
+
+// TestCacheGetReturnsCopy is the regression test for the aliasing bug:
+// Get used to hand out the cache's internal slice, so a caller mutating
+// its "own" result corrupted every subsequent hit for the same hash.
+func TestCacheGetReturnsCopy(t *testing.T) {
+	c := newResultCache(4, 0)
+	orig := []byte(`{"v":1}`)
+	c.Put("k", orig)
+
+	got1, ok := c.Get("k")
+	if !ok {
+		t.Fatal("k missing")
+	}
+	for i := range got1 {
+		got1[i] = 'X' // caller scribbles on its copy
+	}
+	orig[0] = 'Y' // and the Put input is mutated after the fact
+
+	got2, ok := c.Get("k")
+	if !ok {
+		t.Fatal("k missing on second get")
+	}
+	if !bytes.Equal(got2, []byte(`{"v":1}`)) {
+		t.Fatalf("cached value corrupted by caller mutation: %q", got2)
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	c := newResultCache(100, 10) // entries effectively unbounded; 10 bytes max
+	c.Put("a", []byte("aaaa"))   // 4
+	c.Put("b", []byte("bbbb"))   // 8
+	c.Put("c", []byte("cccc"))   // 12 -> evict LRU "a"
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted by the byte bound")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b should survive")
+	}
+	entries, bts := c.Stats()
+	if entries != 2 || bts != 8 {
+		t.Fatalf("stats = (%d, %d), want (2, 8)", entries, bts)
+	}
+
+	// A single oversized result is still admitted, alone.
+	c.Put("huge", make([]byte, 64))
+	if _, ok := c.Get("huge"); !ok {
+		t.Fatal("oversized entry should be admitted")
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("len = %d, want oversized entry to evict everything else", n)
+	}
+}
+
+func TestCacheNegativeByteBoundUnlimited(t *testing.T) {
+	c := newResultCache(3, -1)
+	c.Put("a", make([]byte, 1<<16))
+	c.Put("b", make([]byte, 1<<16))
+	c.Put("c", make([]byte, 1<<16))
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (byte bound disabled)", c.Len())
+	}
 }
 
 func TestCacheConcurrent(t *testing.T) {
-	c := newResultCache(64)
+	c := newResultCache(64, 0)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)

@@ -6,26 +6,108 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"chameleon/internal/cluster"
 	"chameleon/internal/sim"
 )
 
-// Client is a minimal Go client for a chamd server.
+// RetryPolicy controls how the client reacts to 503 responses (queue
+// full / draining): exponential backoff with jitter, honoring the
+// server's Retry-After header as a floor.
+type RetryPolicy struct {
+	// Max is the number of retries after the first attempt (default 3).
+	Max int
+	// Base is the first backoff delay (default 100ms); attempt n waits
+	// Base * 2^n plus up to 50% jitter.
+	Base time.Duration
+	// Cap bounds any single delay (default 2s).
+	Cap time.Duration
+	// Disabled turns retries off: the first 503 is returned to the
+	// caller immediately.
+	Disabled bool
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Max <= 0 {
+		p.Max = 3
+	}
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 2 * time.Second
+	}
+	return p
+}
+
+// delay computes the backoff before retry attempt n (0-based),
+// honoring retryAfter (from the server's Retry-After header) as a
+// floor and Cap as a ceiling.
+func (p RetryPolicy) delay(n int, retryAfter time.Duration) time.Duration {
+	d := p.Base << n
+	if d > p.Cap {
+		d = p.Cap
+	}
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1)) // up to +50% jitter
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > p.Cap {
+		d = p.Cap
+	}
+	return d
+}
+
+// jobRoute remembers which cluster node actually executes a forwarded
+// job so later polls go there directly instead of re-proxying.
+type jobRoute struct {
+	addr string // executing node's base URL
+	id   string // job ID in that node's store
+}
+
+// Client is a minimal Go client for a chamd server. It is cluster
+// aware: when a submission is forwarded to another node, the client
+// follows the returned node_addr/remote_id and polls the executing
+// node directly, falling back to the original server if that node
+// disappears.
 type Client struct {
 	base string
 	http *http.Client
+
+	// Retry configures 503 backoff. Zero value = defaults; set
+	// Disabled to fail fast.
+	Retry RetryPolicy
+
+	mu     sync.Mutex
+	routes map[string]jobRoute // local job ID -> executing node
 }
 
 // NewClient targets a chamd base URL (e.g. "http://localhost:8080").
 func NewClient(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+	return &Client{
+		base:   strings.TrimRight(base, "/"),
+		http:   &http.Client{},
+		routes: make(map[string]jobRoute),
+	}
 }
 
-// do runs one request and decodes the JSON response (or API error).
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+// statusError carries an API error plus enough context to retry.
+type statusError struct {
+	code       int
+	retryAfter time.Duration
+	err        error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+
+// doOnce runs one request against an absolute URL.
+func (c *Client) doOnce(ctx context.Context, method, url string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -34,7 +116,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		body = bytes.NewReader(b)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
 	if err != nil {
 		return err
 	}
@@ -51,11 +133,18 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return err
 	}
 	if resp.StatusCode >= 400 {
+		var apiErr error
 		var e apiError
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("%s %s: %s (%d)", method, path, e.Error, resp.StatusCode)
+			apiErr = fmt.Errorf("%s %s: %s (%d)", method, url, e.Error, resp.StatusCode)
+		} else {
+			apiErr = fmt.Errorf("%s %s: HTTP %d", method, url, resp.StatusCode)
 		}
-		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+		var ra time.Duration
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ra = time.Duration(secs) * time.Second
+		}
+		return &statusError{code: resp.StatusCode, retryAfter: ra, err: apiErr}
 	}
 	if out == nil {
 		return nil
@@ -63,18 +152,85 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return json.Unmarshal(data, out)
 }
 
+// do runs a request against the client's base server, retrying 503s
+// (a full queue is transient by design) per the retry policy.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	pol := c.Retry.withDefaults()
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.doOnce(ctx, method, c.base+path, in, out)
+		se, ok := err.(*statusError)
+		if !ok || se.code != http.StatusServiceUnavailable ||
+			pol.Disabled || attempt >= pol.Max {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(pol.delay(attempt, se.retryAfter)):
+		}
+	}
+}
+
+// setRoute records (or clears, for empty addr) a job's executing node.
+func (c *Client) setRoute(id string, r jobRoute) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.addr == "" {
+		delete(c.routes, id)
+		return
+	}
+	c.routes[id] = r
+}
+
+func (c *Client) route(id string) (jobRoute, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.routes[id]
+	return r, ok
+}
+
+// noteRoute learns the executing node from a returned status.
+func (c *Client) noteRoute(st JobStatus) {
+	if st.NodeAddr == "" || st.RemoteID == "" {
+		return
+	}
+	if strings.TrimRight(st.NodeAddr, "/") == c.base {
+		return
+	}
+	c.setRoute(st.ID, jobRoute{addr: strings.TrimRight(st.NodeAddr, "/"), id: st.RemoteID})
+}
+
 // Submit posts a job and returns its initial status (which is already
-// terminal on a cache hit).
+// terminal on a cache hit). If the cluster forwarded the job to
+// another node, later Status/Wait/Result calls follow it there.
 func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
 	var st JobStatus
 	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	if err == nil {
+		c.noteRoute(st)
+	}
 	return st, err
 }
 
-// Status fetches a job's current status.
+// Status fetches a job's current status, polling the executing node
+// directly for forwarded jobs (the forwarding server's local ID is
+// restored in the response). If the executing node is unreachable the
+// route is dropped and the original server answers from its mirror.
 func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	if r, ok := c.route(id); ok {
+		var st JobStatus
+		if err := c.doOnce(ctx, http.MethodGet, r.addr+"/v1/jobs/"+r.id, nil, &st); err == nil {
+			st.ID = id // present the caller's handle, not the remote one
+			return st, nil
+		}
+		c.setRoute(id, jobRoute{}) // node gone: fall back to the proxy
+	}
 	var st JobStatus
 	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	if err == nil {
+		c.noteRoute(st)
+	}
 	return st, err
 }
 
@@ -103,8 +259,14 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobSt
 }
 
 // Result decodes a done job's result into out (for sim jobs, a
-// *sim.Result).
+// *sim.Result), fetching from the executing node when known.
 func (c *Client) Result(ctx context.Context, id string, out any) error {
+	if r, ok := c.route(id); ok {
+		if err := c.doOnce(ctx, http.MethodGet, r.addr+"/v1/jobs/"+r.id+"/result", nil, out); err == nil {
+			return nil
+		}
+		c.setRoute(id, jobRoute{})
+	}
 	return c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, out)
 }
 
@@ -117,8 +279,15 @@ func (c *Client) SimResult(ctx context.Context, id string) (*sim.Result, error) 
 	return &r, nil
 }
 
-// Cancel cancels a queued or running job.
+// Cancel cancels a queued or running job, on the executing node when
+// known (the forwarding server's mirror then converges via its poll).
 func (c *Client) Cancel(ctx context.Context, id string) error {
+	if r, ok := c.route(id); ok {
+		if err := c.doOnce(ctx, http.MethodDelete, r.addr+"/v1/jobs/"+r.id, nil, nil); err == nil {
+			return nil
+		}
+		c.setRoute(id, jobRoute{})
+	}
 	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
 }
 
@@ -129,6 +298,16 @@ func (c *Client) Workloads(ctx context.Context) ([]WorkloadInfo, error) {
 	}
 	err := c.do(ctx, http.MethodGet, "/v1/workloads", nil, &resp)
 	return resp.Workloads, err
+}
+
+// ClusterMembers reports the server's cluster view (empty error with
+// zero members on standalone servers means the endpoint is absent).
+func (c *Client) ClusterMembers(ctx context.Context) ([]cluster.Node, error) {
+	var resp struct {
+		Members []cluster.Node `json:"members"`
+	}
+	err := c.do(ctx, http.MethodGet, cluster.MembersPath, nil, &resp)
+	return resp.Members, err
 }
 
 // Healthy reports whether the server answers /healthz with "ok".

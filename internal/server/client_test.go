@@ -1,0 +1,190 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flaky503 serves n 503s before handing requests to next.
+func flaky503(n int64, retryAfter string, next http.Handler) (http.Handler, *atomic.Int64) {
+	var calls atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= n {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			writeError(w, http.StatusServiceUnavailable, ErrQueueFull)
+			return
+		}
+		next.ServeHTTP(w, r)
+	}), &calls
+}
+
+func acceptedStatus(st JobStatus) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusAccepted, st)
+	})
+}
+
+func fastRetry() RetryPolicy {
+	return RetryPolicy{Max: 3, Base: time.Millisecond, Cap: 5 * time.Millisecond}
+}
+
+func TestClientRetriesOn503(t *testing.T) {
+	h, calls := flaky503(2, "", acceptedStatus(JobStatus{ID: "j1", State: StateQueued}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.Retry = fastRetry()
+	st, err := c.Submit(context.Background(), fastSpec(1))
+	if err != nil {
+		t.Fatalf("submit should succeed after retries: %v", err)
+	}
+	if st.ID != "j1" {
+		t.Fatalf("status = %+v", st)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 rejected + 1 accepted)", n)
+	}
+}
+
+func TestClientRetryExhaustion(t *testing.T) {
+	h, calls := flaky503(1000, "", nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.Retry = fastRetry()
+	_, err := c.Submit(context.Background(), fastSpec(1))
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("want terminal 503 error, got %v", err)
+	}
+	if n := calls.Load(); n != 4 {
+		t.Fatalf("server saw %d calls, want 4 (1 + Max=3 retries)", n)
+	}
+}
+
+func TestClientRetryDisabled(t *testing.T) {
+	h, calls := flaky503(1000, "", nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.Retry.Disabled = true
+	_, err := c.Submit(context.Background(), fastSpec(1))
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("want immediate 503, got %v", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retries)", n)
+	}
+}
+
+func TestClientRetryCanceledContext(t *testing.T) {
+	h, _ := flaky503(1000, "30", nil) // huge Retry-After: the wait must abort
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.Retry = RetryPolicy{Max: 3, Base: time.Millisecond, Cap: time.Minute}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Submit(ctx, fastSpec(1))
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("retry loop ignored context cancellation")
+	}
+}
+
+func TestRetryPolicyDelay(t *testing.T) {
+	p := RetryPolicy{Base: 100 * time.Millisecond, Cap: 2 * time.Second}.withDefaults()
+	for i := 0; i < 50; i++ {
+		// Exponential base with <= 50% jitter.
+		if d := p.delay(0, 0); d < 100*time.Millisecond || d > 150*time.Millisecond {
+			t.Fatalf("delay(0) = %s, want [100ms, 150ms]", d)
+		}
+		// Retry-After is a floor.
+		if d := p.delay(0, 800*time.Millisecond); d < 800*time.Millisecond {
+			t.Fatalf("delay with Retry-After=800ms = %s, want >= 800ms", d)
+		}
+		// ... but Cap always wins.
+		if d := p.delay(10, time.Hour); d > 2*time.Second {
+			t.Fatalf("delay = %s, want <= cap", d)
+		}
+	}
+}
+
+// TestClientFollowsForwardedJob verifies the cluster-aware redirect: a
+// submit answered with node_addr/remote_id makes the client poll the
+// executing node directly, presenting the original job ID; when that
+// node dies the client falls back to the forwarding server.
+func TestClientFollowsForwardedJob(t *testing.T) {
+	// "Executing" node B: serves the remote job's live status.
+	var bCalls atomic.Int64
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		bCalls.Add(1)
+		if r.URL.Path != "/v1/jobs/b-j1" {
+			t.Errorf("node B got unexpected path %s", r.URL.Path)
+		}
+		writeJSON(w, http.StatusOK, JobStatus{ID: "b-j1", State: StateDone})
+	}))
+	defer b.Close()
+
+	// Forwarding node A: returns a remote mirror pointing at B.
+	var aStatusCalls atomic.Int64
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost:
+			writeJSON(w, http.StatusAccepted, JobStatus{
+				ID: "a-j1", State: StateRemote,
+				Node: "node-b", NodeAddr: b.URL, RemoteID: "b-j1",
+			})
+		default:
+			aStatusCalls.Add(1)
+			writeJSON(w, http.StatusOK, JobStatus{ID: "a-j1", State: StateDone})
+		}
+	}))
+	defer a.Close()
+
+	c := NewClient(a.URL)
+	st, err := c.Submit(context.Background(), fastSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateRemote {
+		t.Fatalf("state = %s, want remote", st.State)
+	}
+
+	st, err = c.Status(context.Background(), "a-j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "a-j1" || st.State != StateDone {
+		t.Fatalf("status = %+v, want local ID with remote state", st)
+	}
+	if bCalls.Load() != 1 || aStatusCalls.Load() != 0 {
+		t.Fatalf("calls: B=%d A=%d, want the poll to hit B directly", bCalls.Load(), aStatusCalls.Load())
+	}
+
+	// Node B dies: the client drops the route and asks A's mirror.
+	b.Close()
+	st, err = c.Status(context.Background(), "a-j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "a-j1" || st.State != StateDone {
+		t.Fatalf("fallback status = %+v", st)
+	}
+	if aStatusCalls.Load() != 1 {
+		t.Fatalf("A saw %d status calls, want 1 after fallback", aStatusCalls.Load())
+	}
+}

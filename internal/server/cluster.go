@@ -1,0 +1,526 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"chameleon/internal/cluster"
+)
+
+// replication is how many ring nodes hold each result: the owner plus
+// one replica, so any single node death keeps every cached result
+// reachable.
+const replication = 2
+
+// peerCallTimeout bounds one peer HTTP round-trip (status polls,
+// cache lookups, claims). Forwards share it: a forward that cannot
+// reach the owner quickly falls back to running locally.
+const peerCallTimeout = 5 * time.Second
+
+// --- routing: forward a submit to the ring owner ----------------------
+
+// forward proxies a normalized submission to the first reachable
+// owner and returns a local mirror job tracking the remote execution.
+// ok=false means no owner was reachable and the caller should run the
+// job locally.
+func (s *Server) forward(norm JobSpec, hash string, now time.Time, owners []cluster.Node) (*Job, bool) {
+	self := s.selfID()
+	for _, owner := range owners {
+		if owner.ID == self || !s.cl.Alive(owner.ID) {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), peerCallTimeout)
+		var remote JobStatus
+		err := cluster.DoJSONHeader(ctx, s.cl.HTTPClient(), http.MethodPost,
+			owner.Addr+"/v1/jobs", map[string]string{cluster.ForwardedHeader: self}, norm, &remote)
+		cancel()
+		if err != nil {
+			s.cl.Membership().MarkFailed(owner.ID)
+			continue
+		}
+		s.metrics.JobsForwarded.Add(1)
+		j := s.store.NewJob(norm, now)
+		if !j.markRemote(owner.ID, owner.Addr, remote.ID, now) {
+			return j, true // raced terminal; nothing else to do
+		}
+		if remote.State.Terminal() {
+			// The owner served it from cache (or failed fast): resolve
+			// the mirror immediately so the caller gets a finished job.
+			s.resolveRemote(j, remote)
+		}
+		return j, true
+	}
+	return nil, false
+}
+
+// resolveRemote applies a terminal remote status to a local mirror,
+// fetching result bytes for done jobs. A failed fetch leaves the
+// mirror in StateRemote for the next poll.
+func (s *Server) resolveRemote(j *Job, st JobStatus) {
+	now := time.Now()
+	switch st.State {
+	case StateDone:
+		_, addr, rid := j.remoteRef()
+		ctx, cancel := context.WithTimeout(context.Background(), peerCallTimeout)
+		b, ok, err := cluster.GetBytes(ctx, s.cl.HTTPClient(), addr+"/v1/jobs/"+rid+"/result")
+		cancel()
+		if err != nil || !ok {
+			return
+		}
+		s.cache.Put(j.Hash, b)
+		if j.finishFromPeer(StateDone, b, "", st.Cached, now) {
+			s.metrics.JobsRemoteDone.Add(1)
+		}
+	case StateFailed, StateCanceled:
+		j.finishFromPeer(st.State, nil, st.Error, false, now)
+	}
+}
+
+// pollRemotes refreshes every remote mirror from its owner: progress
+// while running, result bytes once done. Unreachable owners are
+// reported to the failure detector; the mirror stays remote until the
+// owner is declared dead (then sweepDead re-enqueues it locally).
+func (s *Server) pollRemotes() {
+	for _, j := range s.store.Snapshot() {
+		if j.State() != StateRemote {
+			continue
+		}
+		node, addr, rid := j.remoteRef()
+		if node == "" {
+			continue
+		}
+		if !s.cl.Alive(node) {
+			s.reenqueueLocal(j)
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), peerCallTimeout)
+		var st JobStatus
+		err := cluster.DoJSON(ctx, s.cl.HTTPClient(), http.MethodGet, addr+"/v1/jobs/"+rid, nil, &st)
+		cancel()
+		if err != nil {
+			s.cl.Membership().MarkFailed(node)
+			continue
+		}
+		if st.State.Terminal() {
+			s.resolveRemote(j, st)
+		} else {
+			j.setProgress(st.Progress)
+		}
+	}
+}
+
+// sweepDead re-enqueues work stranded on dead nodes: remote mirrors
+// whose owner died, and claimed jobs whose thief died. Exactly-once
+// still holds — revertToQueued only fires from remote/claimed, and a
+// late completion report for a re-run job lands on a terminal (or
+// re-owned) job and is dropped.
+func (s *Server) sweepDead() {
+	if s.cl == nil {
+		return
+	}
+	for _, j := range s.store.Snapshot() {
+		switch j.State() {
+		case StateRemote, StateClaimed:
+			node, _, _ := j.remoteRef()
+			if node != "" && !s.cl.Alive(node) {
+				s.reenqueueLocal(j)
+			}
+		}
+	}
+}
+
+// reenqueueLocal returns a job stranded on a dead node to the local
+// worker pool.
+func (s *Server) reenqueueLocal(j *Job) {
+	if !j.revertToQueued(time.Now()) {
+		return
+	}
+	if err := s.pool.Submit(j); err != nil {
+		if j.finish(StateFailed, nil, fmt.Errorf("re-enqueue after node death: %w", err), time.Now()) {
+			s.metrics.JobsFailed.Add(1)
+		}
+		return
+	}
+	s.metrics.JobsQueued.Add(1)
+	s.metrics.JobsReenqueued.Add(1)
+}
+
+// cancelRemote best-effort propagates a mirror cancellation to the
+// owner so the remote execution stops burning a worker.
+func (s *Server) cancelRemote(addr, rid string) {
+	ctx, cancel := context.WithTimeout(context.Background(), peerCallTimeout)
+	defer cancel()
+	_ = cluster.DoJSON(ctx, s.cl.HTTPClient(), http.MethodDelete, addr+"/v1/jobs/"+rid, nil, nil)
+}
+
+// --- cluster-wide result cache ----------------------------------------
+
+// peerCacheGet consults the ring owner and replica (excluding self)
+// for hash before simulating locally.
+func (s *Server) peerCacheGet(hash string, owners []cluster.Node) ([]byte, bool) {
+	self := s.selfID()
+	for _, o := range owners {
+		if o.ID == self || !s.cl.Alive(o.ID) {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), peerCallTimeout)
+		b, ok, err := cluster.GetBytes(ctx, s.cl.HTTPClient(), o.Addr+cluster.CachePath+hash)
+		cancel()
+		if err != nil {
+			s.cl.Membership().MarkFailed(o.ID)
+			continue
+		}
+		if ok {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// writeBackResult pushes freshly computed result bytes to the ring
+// owner and replica (excluding self). Best effort: the result is
+// already served locally; replication only widens the cache.
+func (s *Server) writeBackResult(hash string, b []byte) {
+	self := s.selfID()
+	for _, o := range s.cl.Owners(hash, replication) {
+		if o.ID == self || !s.cl.Alive(o.ID) {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), peerCallTimeout)
+		err := cluster.PutBytes(ctx, s.cl.HTTPClient(), o.Addr+cluster.CachePath+hash, b)
+		cancel()
+		if err != nil {
+			s.cl.Membership().MarkFailed(o.ID)
+		}
+	}
+}
+
+// --- work stealing ----------------------------------------------------
+
+// stealableJob is one queued job offered to idle peers.
+type stealableJob struct {
+	ID   string  `json:"id"`
+	Hash string  `json:"hash"`
+	Spec JobSpec `json:"spec"`
+}
+
+type claimRequest struct {
+	ID   string `json:"id"`
+	By   string `json:"by"`
+	Addr string `json:"addr"`
+}
+
+type claimResponse struct {
+	OK   bool    `json:"ok"`
+	Spec JobSpec `json:"spec,omitempty"`
+}
+
+type completeRequest struct {
+	ID      string          `json:"id"`
+	By      string          `json:"by"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	Requeue bool            `json:"requeue,omitempty"`
+}
+
+// idleCapacity returns how many more jobs this node could run right
+// now without queueing.
+func (s *Server) idleCapacity() int {
+	free := int64(s.opts.Workers) - s.metrics.JobsRunning.Value() - s.metrics.JobsQueued.Value()
+	if free < 0 {
+		return 0
+	}
+	return int(free)
+}
+
+// stealOnce scans peers for queued work when this node is idle,
+// claims jobs one at a time (the claim is CAS-guarded in the owner's
+// jobstore, so a job runs exactly once cluster-wide), runs them
+// locally, and reports results back to the owner.
+func (s *Server) stealOnce() {
+	if s.cl == nil || s.draining.Load() {
+		return
+	}
+	budget := s.idleCapacity()
+	if budget <= 0 {
+		return
+	}
+	self := s.cl.Self()
+	for _, peer := range s.cl.Members() {
+		if budget <= 0 {
+			return
+		}
+		if peer.ID == self.ID || !s.cl.Alive(peer.ID) {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), peerCallTimeout)
+		var queued []stealableJob
+		err := cluster.DoJSON(ctx, s.cl.HTTPClient(), http.MethodGet, peer.Addr+cluster.QueuePath, nil, &queued)
+		cancel()
+		if err != nil {
+			s.cl.Membership().MarkFailed(peer.ID)
+			continue
+		}
+		for _, sj := range queued {
+			if budget <= 0 {
+				return
+			}
+			if s.stealJob(peer, sj) {
+				budget--
+			}
+		}
+	}
+}
+
+// stealJob claims one queued job from a peer and runs it locally.
+func (s *Server) stealJob(peer cluster.Node, sj stealableJob) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), peerCallTimeout)
+	defer cancel()
+	var cr claimResponse
+	err := cluster.DoJSON(ctx, s.cl.HTTPClient(), http.MethodPost, peer.Addr+cluster.ClaimPath,
+		claimRequest{ID: sj.ID, By: s.selfID(), Addr: s.cl.Self().Addr}, &cr)
+	if err != nil || !cr.OK {
+		return false
+	}
+	norm, err := cr.Spec.Normalize()
+	if err != nil {
+		// The spec ran Normalize on the owner already; a failure here
+		// means an incompatible peer. Give the job back.
+		s.reportComplete(originRef{NodeID: peer.ID, Addr: peer.Addr, ID: sj.ID},
+			completeRequest{ID: sj.ID, By: s.selfID(), Requeue: true})
+		return false
+	}
+	s.metrics.JobsStolen.Add(1)
+	now := time.Now()
+	j := s.store.NewJob(norm, now)
+	j.setNode(s.selfID())
+	j.setOrigin(peer.ID, peer.Addr, sj.ID)
+	if err := s.pool.Submit(j); err != nil {
+		j.finish(StateFailed, nil, err, time.Now())
+		// We cannot run it after all; let the owner re-queue it.
+		s.reportComplete(originRef{NodeID: peer.ID, Addr: peer.Addr, ID: sj.ID},
+			completeRequest{ID: sj.ID, By: s.selfID(), Requeue: true})
+		return false
+	}
+	s.metrics.JobsQueued.Add(1)
+	return true
+}
+
+// reportToOrigin posts a stolen job's outcome back to the victim
+// node, if this job was stolen. Called from runJob on every outcome.
+func (s *Server) reportToOrigin(j *Job, result []byte, runErr error) {
+	og, ok := j.Origin()
+	if !ok {
+		return
+	}
+	req := completeRequest{ID: og.ID, By: s.selfID(), Result: result}
+	if runErr != nil {
+		req.Error = runErr.Error()
+	}
+	go s.reportComplete(og, req)
+}
+
+// reportComplete delivers one completion report with retries; the
+// owner's dead-thief sweep covers the case where every attempt fails.
+func (s *Server) reportComplete(og originRef, req completeRequest) {
+	for attempt := 0; attempt < 3; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), peerCallTimeout)
+		err := cluster.DoJSON(ctx, s.cl.HTTPClient(), http.MethodPost, og.Addr+cluster.CompletePath, req, nil)
+		cancel()
+		if err == nil {
+			return
+		}
+		var pe *cluster.PeerError
+		if errors.As(err, &pe) {
+			return // the owner saw the report and rejected it (job gone/terminal)
+		}
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(time.Duration(attempt+1) * 100 * time.Millisecond):
+		}
+	}
+	s.cl.Membership().MarkFailed(og.NodeID)
+}
+
+// --- background loops and diagnostics ---------------------------------
+
+// startClusterLoops runs the mirror-poll/death-sweep loop and the
+// work-stealing loop until Shutdown.
+func (s *Server) startClusterLoops() {
+	s.loopWG.Add(2)
+	go func() {
+		defer s.loopWG.Done()
+		t := time.NewTicker(s.opts.RemotePoll)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.pollRemotes()
+				s.sweepDead()
+			}
+		}
+	}()
+	go func() {
+		defer s.loopWG.Done()
+		t := time.NewTicker(s.opts.StealInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.stealOnce()
+			}
+		}
+	}()
+}
+
+// clusterInfo renders the live cluster summary for /debug/vars.
+func (s *Server) clusterInfo() any {
+	self := s.cl.Self()
+	members := s.cl.Members()
+	alive := 0
+	states := make(map[string]string, len(members))
+	for _, m := range members {
+		states[m.ID] = string(m.State)
+		if m.State == cluster.StateAlive {
+			alive++
+		}
+	}
+	return map[string]any{
+		"node_id":       self.ID,
+		"addr":          self.Addr,
+		"incarnation":   self.Incarnation,
+		"members_total": len(members),
+		"members_alive": alive,
+		"members":       states,
+		"ring_nodes":    s.cl.Ring().Nodes(),
+	}
+}
+
+// --- peer-protocol HTTP handlers --------------------------------------
+
+// registerClusterRoutes adds the peer protocol to the API mux.
+func (s *Server) registerClusterRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("POST "+cluster.GossipPath, s.handleGossip)
+	mux.HandleFunc("GET "+cluster.MembersPath, s.handleMembers)
+	mux.HandleFunc("GET "+cluster.CachePath+"{hash}", s.handleCacheGet)
+	mux.HandleFunc("PUT "+cluster.CachePath+"{hash}", s.handleCachePut)
+	mux.HandleFunc("GET "+cluster.QueuePath, s.handleQueue)
+	mux.HandleFunc("POST "+cluster.ClaimPath, s.handleClaim)
+	mux.HandleFunc("POST "+cluster.CompletePath, s.handleComplete)
+}
+
+func (s *Server) handleGossip(w http.ResponseWriter, r *http.Request) {
+	var d cluster.Digest
+	if err := cluster.ReadJSON(w, r, &d, 1<<20); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cluster.WriteJSON(w, http.StatusOK, s.cl.HandleGossip(d))
+}
+
+func (s *Server) handleMembers(w http.ResponseWriter, _ *http.Request) {
+	cluster.WriteJSON(w, http.StatusOK, struct {
+		Self    cluster.Node   `json:"self"`
+		Members []cluster.Node `json:"members"`
+		Ring    []string       `json:"ring"`
+	}{s.cl.Self(), s.cl.Members(), s.cl.Ring().Nodes()})
+}
+
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.cache.Get(r.PathValue("hash"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("not cached"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+}
+
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	body, err := readAllLimited(w, r, 64<<20)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.cache.Put(hash, body)
+	s.metrics.PeerCacheFills.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleQueue(w http.ResponseWriter, _ *http.Request) {
+	var out []stealableJob
+	if !s.draining.Load() {
+		for _, j := range s.store.Snapshot() {
+			// Trace replays read a node-local file; they cannot move.
+			if j.State() == StateQueued && j.Spec.TracePath == "" {
+				out = append(out, stealableJob{ID: j.ID, Hash: j.Hash, Spec: j.Spec})
+			}
+		}
+	}
+	cluster.WriteJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req claimRequest
+	if err := cluster.ReadJSON(w, r, &req, 1<<20); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, ok := s.store.Get(req.ID)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job "+req.ID))
+		return
+	}
+	if req.By == "" || j.Spec.TracePath != "" || !j.tryClaim(req.By, req.Addr, time.Now()) {
+		cluster.WriteJSON(w, http.StatusOK, claimResponse{OK: false})
+		return
+	}
+	s.metrics.JobsStolenAway.Add(1)
+	cluster.WriteJSON(w, http.StatusOK, claimResponse{OK: true, Spec: j.Spec})
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if err := cluster.ReadJSON(w, r, &req, 64<<20); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, ok := s.store.Get(req.ID)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job "+req.ID))
+		return
+	}
+	now := time.Now()
+	switch {
+	case req.Requeue:
+		s.reenqueueLocal(j)
+	case req.Error != "":
+		if j.finishFromPeer(StateFailed, nil, req.Error, false, now) {
+			s.metrics.JobsFailed.Add(1)
+		}
+	default:
+		s.cache.Put(j.Hash, req.Result)
+		if j.finishFromPeer(StateDone, req.Result, "", false, now) {
+			s.metrics.JobsRemoteDone.Add(1)
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// readAllLimited reads a bounded request body.
+func readAllLimited(w http.ResponseWriter, r *http.Request, max int64) ([]byte, error) {
+	defer r.Body.Close()
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, max))
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"chameleon/internal/cluster"
 	"chameleon/internal/workload"
 )
 
@@ -29,6 +30,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /debug/vars", s.metrics)
+	if s.cl != nil {
+		s.registerClusterRoutes(mux)
+	}
 	return mux
 }
 
@@ -57,7 +61,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := s.Submit(spec)
+	j, err := s.submit(spec, r.Header.Get(cluster.ForwardedHeader))
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -119,7 +123,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	wasRemote := j.State() == StateRemote
+	_, raddr, rid := j.remoteRef()
 	canceled := j.Cancel(time.Now())
+	if canceled && wasRemote && s.clustered() && raddr != "" && rid != "" {
+		// Best effort: stop the remote execution too.
+		go s.cancelRemote(raddr, rid)
+	}
 	writeJSON(w, http.StatusOK, struct {
 		ID       string   `json:"id"`
 		Canceled bool     `json:"canceled"`

@@ -203,8 +203,10 @@ func TestHTTPListAndMetrics(t *testing.T) {
 		}
 	}
 
-	// The queue-full path surfaces as 503 + Retry-After.
+	// The queue-full path surfaces as 503 + Retry-After. Disable the
+	// client's backoff: this test wants the raw first response.
 	s2, _, c2 := newHTTPServer(t, Options{Workers: 1, QueueDepth: 1})
+	c2.Retry.Disabled = true
 	if _, err := c2.Submit(ctx, slowSpec(44)); err != nil {
 		t.Fatal(err)
 	}

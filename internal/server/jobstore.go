@@ -15,10 +15,16 @@ import (
 type JobState string
 
 // Job lifecycle states. Queued jobs wait for a worker; running jobs
-// own one; done/failed/canceled are terminal.
+// own one; done/failed/canceled are terminal. Two states exist only
+// on clustered servers: remote jobs were forwarded to the ring owner
+// and mirror its progress here; claimed jobs were stolen off our
+// queue by an idle peer and will be completed (or reverted) from
+// there.
 const (
 	StateQueued   JobState = "queued"
 	StateRunning  JobState = "running"
+	StateRemote   JobState = "remote"
+	StateClaimed  JobState = "claimed"
 	StateDone     JobState = "done"
 	StateFailed   JobState = "failed"
 	StateCanceled JobState = "canceled"
@@ -42,12 +48,18 @@ type Progress struct {
 	TotalCells int `json:"total_cells,omitempty"`
 }
 
-// JobStatus is the wire-format snapshot of a job.
+// JobStatus is the wire-format snapshot of a job. Node names the
+// cluster node executing (or that executed) the job; for remote
+// mirrors, NodeAddr and RemoteID let a cluster-aware client poll the
+// executing node directly instead of through the forwarding proxy.
 type JobStatus struct {
 	ID          string     `json:"id"`
 	Hash        string     `json:"hash"`
 	State       JobState   `json:"state"`
 	Cached      bool       `json:"cached,omitempty"`
+	Node        string     `json:"node,omitempty"`
+	NodeAddr    string     `json:"node_addr,omitempty"`
+	RemoteID    string     `json:"remote_id,omitempty"`
 	Spec        JobSpec    `json:"spec"`
 	Progress    Progress   `json:"progress,omitempty"`
 	Error       string     `json:"error,omitempty"`
@@ -75,7 +87,24 @@ type Job struct {
 	finishedAt  time.Time
 	cancel      context.CancelFunc
 
+	// Cluster bookkeeping. node labels the executing node; for remote
+	// mirrors nodeAddr/remoteID reference the owner's job, and origin
+	// (on a thief's copy of a stolen job) names the victim job to
+	// report completion back to.
+	node     string
+	nodeAddr string
+	remoteID string
+	origin   *originRef
+
 	done chan struct{}
+}
+
+// originRef names the victim-side job a stolen job must report back
+// to: the owner node, its base URL, and the job ID in its store.
+type originRef struct {
+	NodeID string
+	Addr   string
+	ID     string
 }
 
 func newJob(id string, spec JobSpec, now time.Time) *Job {
@@ -92,6 +121,7 @@ func (j *Job) Status() JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID: j.ID, Hash: j.Hash, State: j.state, Cached: j.cached,
+		Node: j.node, NodeAddr: j.nodeAddr, RemoteID: j.remoteID,
 		Spec: j.Spec, Progress: j.progress, Error: j.err,
 		SubmittedAt: j.submittedAt,
 	}
@@ -160,15 +190,17 @@ func (j *Job) finish(state JobState, result []byte, err error, now time.Time) bo
 	return true
 }
 
-// Cancel cancels a queued or running job. Queued jobs go terminal
-// immediately; running jobs get their context canceled and go
-// terminal when the simulation loop notices. It reports whether the
-// call had any effect.
+// Cancel cancels a queued or running job. Queued (and remote /
+// claimed) jobs go terminal immediately; running jobs get their
+// context canceled and go terminal when the simulation loop notices.
+// It reports whether the call had any effect.
 func (j *Job) Cancel(now time.Time) bool {
 	j.mu.Lock()
-	if j.state == StateQueued {
+	switch j.state {
+	case StateQueued, StateRemote, StateClaimed:
+		prev := j.state
 		j.state = StateCanceled
-		j.err = "canceled while queued"
+		j.err = "canceled while " + string(prev)
 		j.finishedAt = now
 		close(j.done)
 		j.mu.Unlock()
@@ -215,12 +247,130 @@ func (j *Job) markCached(result []byte, now time.Time) {
 	j.mu.Unlock()
 }
 
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// setNode labels the job with the executing cluster node.
+func (j *Job) setNode(id string) {
+	if id == "" {
+		return
+	}
+	j.mu.Lock()
+	j.node = id
+	j.mu.Unlock()
+}
+
+// markRemote turns a freshly queued job into a mirror of remoteID
+// executing on the named owner node. Fails if the job already left
+// the queued state (e.g. canceled during the forward round-trip).
+func (j *Job) markRemote(nodeID, addr, remoteID string, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRemote
+	j.node, j.nodeAddr, j.remoteID = nodeID, addr, remoteID
+	j.startedAt = now
+	return true
+}
+
+// remoteRef returns the mirror's owner reference (valid while the
+// job is in StateRemote).
+func (j *Job) remoteRef() (nodeID, addr, remoteID string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.node, j.nodeAddr, j.remoteID
+}
+
+// tryClaim is the CAS guard that makes work stealing exactly-once: it
+// transitions queued → claimed for thief `by`, and fails for any
+// other current state — a second thief, the local worker (tryStart),
+// and a canceling client race on the same mutex, so exactly one
+// party ever runs the job.
+func (j *Job) tryClaim(by, addr string, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateClaimed
+	j.node, j.nodeAddr = by, addr
+	j.startedAt = now
+	return true
+}
+
+// revertToQueued returns a remote or claimed job to the local queue
+// after its executing node died. The caller must re-submit it to the
+// worker pool on success.
+func (j *Job) revertToQueued(now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRemote && j.state != StateClaimed {
+		return false
+	}
+	j.state = StateQueued
+	j.node, j.nodeAddr, j.remoteID = "", "", ""
+	j.startedAt = time.Time{}
+	j.progress = Progress{}
+	return true
+}
+
+// finishFromPeer moves a remote or claimed job to a terminal state on
+// behalf of the node that executed it. No-op if already terminal.
+func (j *Job) finishFromPeer(state JobState, result []byte, errstr string, cached bool, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = state
+	j.result = result
+	j.err = errstr
+	j.cached = cached
+	j.finishedAt = now
+	j.cancel = nil
+	close(j.done)
+	return true
+}
+
+// setOrigin records, on a thief's local copy of a stolen job, the
+// victim job to report completion back to. Set once before the job
+// enters the pool.
+func (j *Job) setOrigin(nodeID, addr, id string) {
+	j.mu.Lock()
+	j.origin = &originRef{NodeID: nodeID, Addr: addr, ID: id}
+	j.mu.Unlock()
+}
+
+// Origin returns the stolen job's victim reference, if any.
+func (j *Job) Origin() (originRef, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.origin == nil {
+		return originRef{}, false
+	}
+	return *j.origin, true
+}
+
+// setProgress overwrites the progress snapshot (remote mirrors).
+func (j *Job) setProgress(p Progress) {
+	j.mu.Lock()
+	j.progress = p
+	j.mu.Unlock()
+}
+
 // Store is the in-memory job registry.
 type Store struct {
-	mu   sync.Mutex
-	jobs map[string]*Job
-	ids  []string // submission order, for listing
-	seq  atomic.Uint64
+	mu     sync.Mutex
+	prefix string // cluster: node-scoped ID prefix, "" standalone
+	jobs   map[string]*Job
+	ids    []string // submission order, for listing
+	seq    atomic.Uint64
 }
 
 // NewStore returns an empty registry.
@@ -228,15 +378,36 @@ func NewStore() *Store {
 	return &Store{jobs: make(map[string]*Job)}
 }
 
+// SetIDPrefix namespaces job IDs (e.g. "node1-"). Every store counts
+// from 1, so clustered nodes must prefix or IDs collide across the
+// cluster. Call before the first NewJob.
+func (s *Store) SetIDPrefix(p string) {
+	s.mu.Lock()
+	s.prefix = p
+	s.mu.Unlock()
+}
+
 // NewJob registers a new queued job for the spec.
 func (s *Store) NewJob(spec JobSpec, now time.Time) *Job {
-	id := fmt.Sprintf("j%08x", s.seq.Add(1))
-	j := newJob(id, spec, now)
 	s.mu.Lock()
+	id := fmt.Sprintf("%sj%08x", s.prefix, s.seq.Add(1))
+	j := newJob(id, spec, now)
 	s.jobs[id] = j
 	s.ids = append(s.ids, id)
 	s.mu.Unlock()
 	return j
+}
+
+// Snapshot returns every job in submission order (live pointers, for
+// cluster sweeps).
+func (s *Store) Snapshot() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.ids))
+	for _, id := range s.ids {
+		out = append(out, s.jobs[id])
+	}
+	return out
 }
 
 // Get looks a job up by ID.

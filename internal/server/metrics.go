@@ -23,12 +23,21 @@ type Metrics struct {
 	JobsSubmitted expvar.Int // total POST /v1/jobs accepted
 	JobsQueued    expvar.Int // gauge: currently waiting for a worker
 	JobsRunning   expvar.Int // gauge: currently executing
-	JobsDone      expvar.Int // total completed successfully
+	JobsDone      expvar.Int // total simulated to completion locally
 	JobsFailed    expvar.Int // total failed (error or deadline)
 	JobsCanceled  expvar.Int // total canceled (queued or mid-run)
 	CacheHits     expvar.Int
 	CacheMisses   expvar.Int
 	SimCycles     expvar.Int // simulated cycles completed, all jobs
+
+	// Cluster counters (zero on standalone servers).
+	JobsForwarded  expvar.Int // submits proxied to the ring owner
+	JobsRemoteDone expvar.Int // local jobs completed by a peer's execution
+	JobsStolen     expvar.Int // queued jobs this node claimed from peers
+	JobsStolenAway expvar.Int // queued jobs peers claimed from this node
+	JobsReenqueued expvar.Int // jobs re-queued locally after a node died
+	PeerCacheHits  expvar.Int // local misses served from a peer's cache
+	PeerCacheFills expvar.Int // peer-pushed results accepted into the cache
 
 	queueWait struct {
 		sync.Mutex
@@ -49,7 +58,20 @@ type Metrics struct {
 	start time.Time
 	once  sync.Once
 	vars  *expvar.Map
+
+	// cacheStats / clusterInfo are optional live views wired by the
+	// server before the first Vars call.
+	cacheStats  func() (entries int, bytes int64)
+	clusterInfo func() any
 }
+
+// SetCacheStats wires the result cache's live size into the expvar
+// document (cache_entries / cache_bytes). Call before the first Vars.
+func (m *Metrics) SetCacheStats(fn func() (entries int, bytes int64)) { m.cacheStats = fn }
+
+// SetClusterInfo wires a live cluster summary into the expvar
+// document's "cluster" key. Call before the first Vars.
+func (m *Metrics) SetClusterInfo(fn func() any) { m.clusterInfo = fn }
 
 // NewMetrics returns a zeroed metrics set anchored at now.
 func NewMetrics() *Metrics {
@@ -129,9 +151,23 @@ func (m *Metrics) Vars() *expvar.Map {
 		mp.Set("jobs_done", &m.JobsDone)
 		mp.Set("jobs_failed", &m.JobsFailed)
 		mp.Set("jobs_canceled", &m.JobsCanceled)
+		mp.Set("jobs_forwarded", &m.JobsForwarded)
+		mp.Set("jobs_remote_done", &m.JobsRemoteDone)
+		mp.Set("jobs_stolen", &m.JobsStolen)
+		mp.Set("jobs_stolen_away", &m.JobsStolenAway)
+		mp.Set("jobs_reenqueued", &m.JobsReenqueued)
 		mp.Set("cache_hits", &m.CacheHits)
 		mp.Set("cache_misses", &m.CacheMisses)
 		mp.Set("cache_hit_rate", expvar.Func(func() any { return m.CacheHitRate() }))
+		mp.Set("peer_cache_hits", &m.PeerCacheHits)
+		mp.Set("peer_cache_fills", &m.PeerCacheFills)
+		if m.cacheStats != nil {
+			mp.Set("cache_entries", expvar.Func(func() any { e, _ := m.cacheStats(); return e }))
+			mp.Set("cache_bytes", expvar.Func(func() any { _, b := m.cacheStats(); return b }))
+		}
+		if m.clusterInfo != nil {
+			mp.Set("cluster", expvar.Func(m.clusterInfo))
+		}
 		mp.Set("sim_cycles_total", &m.SimCycles)
 		mp.Set("sim_cycles_per_sec", expvar.Func(func() any { return m.CyclesPerSecond() }))
 		mp.Set("uptime_seconds", expvar.Func(func() any {

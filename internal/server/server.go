@@ -10,9 +10,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"chameleon/internal/cluster"
 	"chameleon/internal/experiments"
 	"chameleon/internal/sim"
 )
@@ -31,6 +33,26 @@ type Options struct {
 	// CacheEntries bounds the content-addressed result cache
 	// (default 1024 results).
 	CacheEntries int
+	// CacheBytes bounds the result cache's total payload size
+	// (default 256 MiB; < 0 disables the byte bound).
+	CacheBytes int64
+
+	// Cluster attaches the server to a chamd cluster (nil =
+	// standalone). The server registers the peer protocol on its
+	// Handler, routes submissions over the cluster's consistent-hash
+	// ring, fills its result cache from peers, and steals queued work
+	// from loaded nodes when idle. The caller owns the cluster's
+	// gossip lifecycle (Start/Stop).
+	Cluster *cluster.Cluster
+	// RemotePoll is the refresh period for forwarded-job mirrors and
+	// dead-node sweeps (default 200ms).
+	RemotePoll time.Duration
+	// StealInterval is the work-stealing scan period (default 500ms).
+	StealInterval time.Duration
+	// ClusterManual disables the background cluster loops; tests
+	// drive pollRemotes/sweepDead/stealOnce directly so membership
+	// and routing transitions happen at deterministic points.
+	ClusterManual bool
 }
 
 func (o Options) withDefaults() Options {
@@ -46,6 +68,15 @@ func (o Options) withDefaults() Options {
 	if o.CacheEntries <= 0 {
 		o.CacheEntries = 1024
 	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 256 << 20
+	}
+	if o.RemotePoll <= 0 {
+		o.RemotePoll = 200 * time.Millisecond
+	}
+	if o.StealInterval <= 0 {
+		o.StealInterval = 500 * time.Millisecond
+	}
 	return o
 }
 
@@ -57,10 +88,15 @@ type Server struct {
 	cache   *resultCache
 	metrics *Metrics
 	pool    *pool
+	cl      *cluster.Cluster // nil = standalone
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	draining   atomic.Bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	loopWG   sync.WaitGroup
 }
 
 // New builds and starts a server: its worker pool is live on return.
@@ -69,12 +105,42 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:    opts,
 		store:   NewStore(),
-		cache:   newResultCache(opts.CacheEntries),
+		cache:   newResultCache(opts.CacheEntries, opts.CacheBytes),
 		metrics: NewMetrics(),
+		cl:      opts.Cluster,
+		stop:    make(chan struct{}),
+	}
+	s.metrics.SetCacheStats(s.cache.Stats)
+	if s.cl != nil {
+		s.store.SetIDPrefix(s.cl.Self().ID + "-")
+		s.metrics.SetClusterInfo(s.clusterInfo)
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.pool = newPool(opts.Workers, opts.QueueDepth, s.runJob)
+	if s.cl != nil {
+		// Ring changes (a node died, a node joined) immediately sweep
+		// for work that must move; the background loops catch the rest.
+		s.cl.SetOnChange(func() {
+			if !s.draining.Load() {
+				s.sweepDead()
+			}
+		})
+		if !opts.ClusterManual {
+			s.startClusterLoops()
+		}
+	}
 	return s
+}
+
+// clustered reports whether this server is part of a cluster.
+func (s *Server) clustered() bool { return s.cl != nil }
+
+// selfID returns the local cluster node ID ("" standalone).
+func (s *Server) selfID() string {
+	if s.cl == nil {
+		return ""
+	}
+	return s.cl.Self().ID
 }
 
 // Metrics exposes the server's counters (also served on /debug/vars).
@@ -82,8 +148,17 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Submit validates, deduplicates and enqueues a job. A cache hit
 // returns a job that is already done (Cached=true) without touching
-// the queue. Errors: spec validation, ErrQueueFull, ErrDraining.
-func (s *Server) Submit(spec JobSpec) (*Job, error) {
+// the queue. On a clustered server a submission whose content hash is
+// owned by another node is transparently forwarded there (single
+// hop), and a local cache miss consults the ring owner and one
+// replica before simulating. Errors: spec validation, ErrQueueFull,
+// ErrDraining.
+func (s *Server) Submit(spec JobSpec) (*Job, error) { return s.submit(spec, "") }
+
+// submit implements Submit. forwardedFrom carries the loop-guard
+// header of a peer-forwarded request ("" = direct client submit);
+// forwarded submissions are always served locally.
+func (s *Server) submit(spec JobSpec, forwardedFrom string) (*Job, error) {
 	norm, err := spec.Normalize()
 	if err != nil {
 		return nil, err
@@ -93,14 +168,44 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	}
 	s.metrics.JobsSubmitted.Add(1)
 	now := time.Now()
-	if res, ok := s.cache.Get(norm.Hash()); ok {
+	hash := norm.Hash()
+	if res, ok := s.cache.Get(hash); ok {
 		s.metrics.CacheHits.Add(1)
 		j := s.store.NewJob(norm, now)
+		j.setNode(s.selfID())
 		j.markCached(res, now)
 		return j, nil
 	}
 	s.metrics.CacheMisses.Add(1)
+	if s.clustered() {
+		owners := s.cl.Owners(hash, replication)
+		selfOwned := false
+		for _, o := range owners {
+			if o.ID == s.selfID() {
+				selfOwned = true
+			}
+		}
+		// Route to the ring owner — single hop only (the loop guard
+		// stops forward chains), and trace replays never leave the node
+		// holding the trace file.
+		if !selfOwned && forwardedFrom == "" && norm.TracePath == "" {
+			if j, ok := s.forward(norm, hash, now, owners); ok {
+				return j, nil
+			}
+			// Owner unreachable: serve locally — a dead owner costs the
+			// cluster capacity, never a job.
+		}
+		if b, ok := s.peerCacheGet(hash, owners); ok {
+			s.metrics.PeerCacheHits.Add(1)
+			s.cache.Put(hash, b)
+			j := s.store.NewJob(norm, now)
+			j.setNode(s.selfID())
+			j.markCached(b, now)
+			return j, nil
+		}
+	}
 	j := s.store.NewJob(norm, now)
+	j.setNode(s.selfID())
 	if err := s.pool.Submit(j); err != nil {
 		j.finish(StateFailed, nil, err, time.Now())
 		s.metrics.JobsFailed.Add(1)
@@ -127,9 +232,12 @@ func (s *Server) Cancel(id string) (bool, error) {
 
 // Shutdown stops intake and drains: queued jobs are canceled, running
 // jobs are given until ctx's deadline to finish, then their run
-// contexts are cut. Always waits for every worker to exit.
+// contexts are cut. Always waits for every worker (and any cluster
+// loop) to exit.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.loopWG.Wait()
 	s.pool.Close()
 	done := make(chan struct{})
 	go func() { s.pool.Wait(); close(done) }()
@@ -157,6 +265,11 @@ func (s *Server) runJob(j *Job) {
 	ctx, cancel := context.WithTimeout(s.baseCtx, j.Spec.Timeout(s.opts.DefaultTimeout))
 	defer cancel()
 	if !j.tryStart(now, cancel) {
+		if j.State() == StateClaimed {
+			// Stolen off our queue while waiting: the thief owns it now
+			// and reports its completion via the peer protocol.
+			return
+		}
 		// Canceled while waiting in the queue.
 		s.metrics.JobsCanceled.Add(1)
 		return
@@ -192,6 +305,7 @@ func (s *Server) runJob(j *Job) {
 				s.metrics.JobsFailed.Add(1)
 			}
 		}
+		s.reportToOrigin(j, nil, err)
 		return
 	}
 	b, err := marshalResult(payload)
@@ -199,12 +313,19 @@ func (s *Server) runJob(j *Job) {
 		if j.finish(StateFailed, nil, err, fin) {
 			s.metrics.JobsFailed.Add(1)
 		}
+		s.reportToOrigin(j, nil, err)
 		return
 	}
 	s.cache.Put(j.Hash, b)
 	if j.finish(StateDone, b, nil, fin) {
 		s.metrics.JobsDone.Add(1)
 	}
+	if s.clustered() {
+		// Replicate to the ring owner and replica so a node death
+		// loses capacity, not results.
+		go s.writeBackResult(j.Hash, b)
+	}
+	s.reportToOrigin(j, b, nil)
 }
 
 // runSim executes a single-simulation job.

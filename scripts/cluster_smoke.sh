@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — end-to-end smoke test of a 3-node chamd cluster.
+#
+# Brings up three chamd processes gossiping with each other, then
+# checks the three cluster-level guarantees a deployment relies on:
+#
+#   1. membership converges to 3 nodes on every peer;
+#   2. a result computed via node A is served from the cluster cache
+#      when the same spec is submitted via node B (cached: true, no
+#      second simulation);
+#   3. killing node C mid-queue loses no jobs — everything submitted
+#      through node A still reaches state "done" on the survivors.
+#
+# Needs: bash, curl, go. No jq — parsing is grep-based on the API's
+# stable pretty-printed JSON.
+set -euo pipefail
+
+PORT_A=18081
+PORT_B=18082
+PORT_C=18083
+A="http://127.0.0.1:$PORT_A"
+B="http://127.0.0.1:$PORT_B"
+C="http://127.0.0.1:$PORT_C"
+BIN="${TMPDIR:-/tmp}/chamd-smoke"
+LOGDIR="$(mktemp -d)"
+
+cleanup() {
+  kill "${PID_A:-}" "${PID_B:-}" "${PID_C:-}" 2>/dev/null || true
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  echo "--- node A log ---" >&2; tail -20 "$LOGDIR/a.log" >&2 || true
+  echo "--- node B log ---" >&2; tail -20 "$LOGDIR/b.log" >&2 || true
+  echo "--- node C log ---" >&2; tail -20 "$LOGDIR/c.log" >&2 || true
+  exit 1
+}
+
+echo "== building chamd"
+go build -o "$BIN" ./cmd/chamd
+
+start_node() { # id port peers logname
+  "$BIN" -addr "127.0.0.1:$2" -workers 2 \
+    -node-id "$1" -cluster-addr "http://127.0.0.1:$2" -peers "$3" \
+    -gossip-interval 100ms -suspicion-timeout 1s \
+    >"$LOGDIR/$4.log" 2>&1 &
+}
+
+echo "== starting 3 nodes"
+start_node node-a "$PORT_A" "" a;        PID_A=$!
+start_node node-b "$PORT_B" "$A" b;      PID_B=$!
+start_node node-c "$PORT_C" "$A" c;      PID_C=$!
+
+wait_members() { # url count
+  for _ in $(seq 1 100); do
+    n="$(curl -sf "$1/v1/cluster/members" 2>/dev/null |
+      grep -o '"id"' | wc -l)" || n=0
+    [ "$n" -ge "$2" ] && return 0
+    sleep 0.1
+  done
+  return 1
+}
+
+for url in "$A" "$B" "$C"; do
+  wait_members "$url" 3 || fail "membership did not reach 3 nodes on $url"
+done
+echo "ok: membership converged on all 3 nodes"
+
+spec() { # seed instructions
+  printf '{"kind":"sim","policy":"chameleon-opt","workload":"bwaves","scale":1024,"instructions":%d,"warmup":1,"seed":%d}' "$2" "$1"
+}
+
+submit() { # url body -> job id
+  curl -sf -X POST -H 'Content-Type: application/json' -d "$2" "$1/v1/jobs" |
+    grep -o '"id": "[^"]*"' | head -1 | sed 's/.*: "//; s/"//'
+}
+
+wait_done() { # url id timeout_iters
+  for _ in $(seq 1 "$3"); do
+    st="$(curl -sf "$1/v1/jobs/$2" | grep -o '"state": "[^"]*"' | head -1)"
+    case "$st" in
+      *done*) return 0 ;;
+      *failed* | *canceled*) return 1 ;;
+    esac
+    sleep 0.1
+  done
+  return 1
+}
+
+echo "== cache check: compute via A, hit via B"
+SPEC="$(spec 7 5000)"
+JOB_A="$(submit "$A" "$SPEC")"
+[ -n "$JOB_A" ] || fail "submit via A returned no job id"
+wait_done "$A" "$JOB_A" 300 || fail "job via A did not complete"
+
+JOB_B="$(submit "$B" "$SPEC")"
+[ -n "$JOB_B" ] || fail "re-submit via B returned no job id"
+wait_done "$B" "$JOB_B" 300 || fail "job via B did not complete"
+curl -sf "$B/v1/jobs/$JOB_B" | grep -q '"cached": true' ||
+  fail "second submission via B was not served from the cluster cache"
+echo "ok: B served the result cached (no second simulation)"
+
+echo "== failover check: kill node C with jobs in flight"
+JOBS=()
+for seed in 101 102 103 104 105 106 107 108; do
+  JOBS+=("$(submit "$A" "$(spec "$seed" 200000)")")
+done
+kill -9 "$PID_C"
+echo "   killed node C ($PID_C); waiting for survivors to finish all ${#JOBS[@]} jobs"
+
+for id in "${JOBS[@]}"; do
+  wait_done "$A" "$id" 600 || fail "job $id was lost after node C died"
+done
+echo "ok: all ${#JOBS[@]} jobs completed despite the node death"
+
+# The survivors must agree the cluster is down to 2 alive members.
+for url in "$A" "$B"; do
+  ok=0
+  for _ in $(seq 1 50); do
+    if curl -sf "$url/debug/vars" | grep -qE '"members_alive": ?2'; then
+      ok=1
+      break
+    fi
+    sleep 0.1
+  done
+  [ "$ok" -eq 1 ] || fail "$url did not reconverge to 2 alive members"
+done
+echo "ok: membership reconverged to the 2 survivors"
+
+echo "PASS: cluster smoke"
