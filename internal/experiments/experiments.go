@@ -50,6 +50,13 @@ type Options struct {
 	// values default to GOMAXPROCS (a negative value would otherwise
 	// panic constructing the semaphore channel).
 	Parallelism int
+	// Threads is the per-simulation worker-thread count handed to
+	// sim.Options.Threads (0 or 1 = sequential). Results are identical
+	// at any value; only wall-clock time changes. The matrix clamps it
+	// so Parallelism × Threads never oversubscribes GOMAXPROCS —
+	// cell-level parallelism is the better lever while many cells are
+	// in flight, intra-run threads soak up what remains.
+	Threads int
 	// Progress, when non-nil, is called after each matrix cell
 	// finishes with the number of completed cells and the total.
 	// Calls are serialized under the matrix lock.
@@ -104,10 +111,32 @@ func (o Options) runOne(opts sim.Options) (*sim.Result, error) {
 	return o.runOneContext(context.Background(), opts)
 }
 
+// effectiveThreads clamps a per-simulation thread count so that
+// `concurrent` simultaneous simulations never oversubscribe the
+// machine: concurrent × result ≤ GOMAXPROCS (floored at 1 thread).
+func effectiveThreads(threads, concurrent int) int {
+	if threads <= 1 {
+		return 1
+	}
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	if limit := runtime.GOMAXPROCS(0) / concurrent; threads > limit {
+		threads = limit
+	}
+	return max(threads, 1)
+}
+
 // runOneContext builds and runs a single cancellable simulation.
 func (o Options) runOneContext(ctx context.Context, opts sim.Options) (*sim.Result, error) {
 	opts.Seed = o.Seed
 	opts.WarmupInstructions = o.Warmup
+	if opts.Threads == 0 {
+		// Standalone drivers run one simulation at a time, so the whole
+		// machine is available; matrix cells arrive with Threads already
+		// clamped against their cell-level parallelism.
+		opts.Threads = effectiveThreads(o.Threads, 1)
+	}
 	s, err := sim.New(opts)
 	if err != nil {
 		return nil, err
@@ -166,6 +195,11 @@ func RunMatrixContext(ctx context.Context, o Options) (*Matrix, error) {
 	if len(pols) == 0 {
 		pols = standardPolicies()
 	}
+	// Clamp intra-run threads against cell-level parallelism: with
+	// Parallelism cells in flight, each run may use at most
+	// GOMAXPROCS / Parallelism workers before the matrix oversubscribes
+	// the machine.
+	simThreads := effectiveThreads(o.Threads, o.Parallelism)
 	matrixPols := make([]sim.PolicyKind, 0, len(pols)+1)
 	var jobs []job
 	for _, name := range o.Workloads {
@@ -174,7 +208,7 @@ func RunMatrixContext(ctx context.Context, o Options) (*Matrix, error) {
 			return nil, err
 		}
 		for _, pk := range pols {
-			so := sim.Options{Config: cfg, Policy: pk, Workload: prof}
+			so := sim.Options{Config: cfg, Policy: pk, Workload: prof, Threads: simThreads}
 			switch pk {
 			case sim.PolicyFlat:
 				so20 := so

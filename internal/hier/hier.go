@@ -65,12 +65,42 @@ func (l *level) cache(core int) *cache.Cache {
 	return l.caches[core]
 }
 
+// SharedOp is one deferred shared-phase interaction produced by a
+// private-prefix walk (AccessPrivate): either a dirty-victim cascade
+// entering the first shared level, or the demand reference continuing
+// past the private levels. Ops are recorded in walk order and must be
+// replayed in that order by AccessShared for the split walk to be
+// bit-identical to Access.
+type SharedOp struct {
+	// Addr is the cascading victim's address, or the demand physical
+	// address when Demand is set.
+	Addr uint64
+	// At is the absolute time the victim cascade issues (the walk time
+	// at the private level whose eviction started it). Unused for the
+	// demand op, whose latency accounting continues from the private
+	// stall.
+	At uint64
+	// Demand marks the demand-reference continuation; it is always the
+	// last op of a walk, if present.
+	Demand bool
+}
+
 // Hierarchy is a constructed cache stack for a fixed set of cores. It
-// is not safe for concurrent use: the simulator advances one core at a
-// time, and the victim buffer returned by Access is reused.
+// is not safe for concurrent use as a whole: the simulator advances one
+// core at a time, and the victim buffer returned by Access is reused.
+// The split walk (AccessPrivate/AccessShared) relaxes this: private
+// levels of distinct cores may be walked concurrently, as long as the
+// shared phase stays on a single goroutine (see the parallel engine in
+// internal/sim).
 type Hierarchy struct {
 	levels  []level
-	victims []Victim // scratch reused across Access calls
+	victims []Victim // scratch reused across Access/AccessShared calls
+	ops     []SharedOp
+	// firstShared is the index of the first shared level: levels before
+	// it are the core-private prefix AccessPrivate walks, levels from it
+	// on (even private ones in unusual configurations) belong to the
+	// shared phase. Equal to len(levels) when every level is private.
+	firstShared int
 }
 
 // New builds the hierarchy for the given core count. Private levels get
@@ -113,8 +143,25 @@ func New(levels []config.CacheLevelConfig, cores int) (*Hierarchy, error) {
 		h.levels[i] = level{name: lc.Name, delta: delta, shared: lc.Shared, caches: caches}
 		prev = lc.LatencyCycles
 	}
+	h.firstShared = len(h.levels)
+	for i := range h.levels {
+		if h.levels[i].shared {
+			h.firstShared = i
+			break
+		}
+	}
 	return h, nil
 }
+
+// PrivateLevels returns the length of the core-private prefix: the
+// number of leading levels before the first shared one. AccessPrivate
+// walks exactly these levels.
+func (h *Hierarchy) PrivateLevels() int { return h.firstShared }
+
+// MaxOpsPerWalk bounds how many SharedOps one AccessPrivate call can
+// append: one victim cascade per private level plus the demand
+// continuation. Callers size their reusable op buffers with it.
+func (h *Hierarchy) MaxOpsPerWalk() int { return h.firstShared + 1 }
 
 // Access walks the hierarchy for one reference by core to phys at local
 // time now. It returns the stall cycles the walk adds to the core clock
@@ -123,19 +170,82 @@ func New(levels []config.CacheLevelConfig, cores int) (*Hierarchy, error) {
 // victims that spilled past the last level. The victims slice is reused
 // by the next Access call; consume it before walking again.
 func (h *Hierarchy) Access(core int, phys uint64, write bool, now uint64) (stall uint64, llcMiss bool, victims []Victim) {
-	h.victims = h.victims[:0]
-	for i := range h.levels {
+	var hit bool
+	stall, hit, h.ops = h.AccessPrivate(core, phys, write, now, h.ops[:0])
+	if hit && len(h.ops) == 0 {
+		h.victims = h.victims[:0]
+		return stall, false, h.victims
+	}
+	return h.AccessShared(core, write, h.ops, stall, now)
+}
+
+// AccessPrivate walks the core-private prefix (levels before the first
+// shared one) for one reference. It returns the stall accrued so far,
+// whether the demand reference hit in a private level, and ops extended
+// with the walk's deferred shared-phase interactions (dirty-victim
+// cascades that crossed into the shared levels, then — on a full
+// private miss — the demand continuation). A hit with no ops means the
+// step never touches shared state. ops entries alias no hierarchy
+// storage; distinct cores may walk their private prefixes concurrently
+// provided each passes its own buffer.
+func (h *Hierarchy) AccessPrivate(core int, phys uint64, write bool, now uint64, ops []SharedOp) (stall uint64, hit bool, out []SharedOp) {
+	for i := 0; i < h.firstShared; i++ {
 		lv := &h.levels[i]
 		stall += lv.delta
-		hit, v, hv := lv.cache(core).Access(phys, write && i == 0)
+		hit, v, hv := lv.caches[core].Access(phys, write && i == 0)
 		if hit {
-			return stall, false, h.victims
+			return stall, true, ops
 		}
 		if hv && v.Dirty {
-			h.spill(core, v.Addr, i+1, now+stall)
+			ops = h.spillPrivate(core, v.Addr, i+1, now+stall, ops)
 		}
 	}
-	return stall, true, h.victims
+	return stall, false, append(ops, SharedOp{Addr: phys, Demand: true})
+}
+
+// spillPrivate cascades a dirty victim through the remaining private
+// levels; a victim surviving past the private prefix is recorded as a
+// deferred shared op carrying the originating walk time (the cascade
+// charges no core time, so every hop keeps now — see spill).
+func (h *Hierarchy) spillPrivate(core int, addr uint64, from int, now uint64, ops []SharedOp) []SharedOp {
+	for i := from; i < h.firstShared; i++ {
+		hit, v, hv := h.levels[i].caches[core].Access(addr, true)
+		if hit || !hv || !v.Dirty {
+			return ops
+		}
+		addr = v.Addr
+	}
+	return append(ops, SharedOp{Addr: addr, At: now})
+}
+
+// AccessShared replays a private walk's deferred ops against the shared
+// phase of the hierarchy (levels from the first shared one on), in
+// recorded order: victim cascades first, then the demand continuation.
+// stall continues from AccessPrivate's return; the composition
+// AccessPrivate + AccessShared is bit-identical to Access, which is
+// implemented as exactly that composition. Like Access, it reuses the
+// hierarchy's victim buffer and must stay on one goroutine.
+func (h *Hierarchy) AccessShared(core int, write bool, ops []SharedOp, stall uint64, now uint64) (stall2 uint64, llcMiss bool, victims []Victim) {
+	h.victims = h.victims[:0]
+	for _, op := range ops {
+		if !op.Demand {
+			h.spill(core, op.Addr, h.firstShared, op.At)
+			continue
+		}
+		for i := h.firstShared; i < len(h.levels); i++ {
+			lv := &h.levels[i]
+			stall += lv.delta
+			hit, v, hv := lv.cache(core).Access(op.Addr, write && i == 0)
+			if hit {
+				return stall, false, h.victims
+			}
+			if hv && v.Dirty {
+				h.spill(core, v.Addr, i+1, now+stall)
+			}
+		}
+		llcMiss = true
+	}
+	return stall, llcMiss, h.victims
 }
 
 // spill cascades a dirty victim into level from and deeper: each fill

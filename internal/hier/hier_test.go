@@ -214,6 +214,65 @@ func TestAccessDoesNotAllocate(t *testing.T) {
 	}
 }
 
+// TestSplitWalkEquivalence: driving one hierarchy through the
+// monolithic Access and a twin through the explicit
+// AccessPrivate → AccessShared split (the parallel engine's usage,
+// skipping the shared phase when a private hit produced no deferred
+// ops) must agree step for step — stall, llcMiss, every victim — and
+// leave identical per-level statistics. Single-line sets make dirty
+// cascades constant, so the deferred-op ordering is exercised hard.
+func TestSplitWalkEquivalence(t *testing.T) {
+	const cores = 3
+	mono, err := New(threeLevels(), cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := New(threeLevels(), cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.PrivateLevels() != 2 {
+		t.Fatalf("PrivateLevels = %d, want 2", split.PrivateLevels())
+	}
+	ops := make([]SharedOp, 0, split.MaxOpsPerWalk())
+	var lcg uint64 = 99
+	for step := 0; step < 20000; step++ {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		core := int(lcg>>33) % cores
+		addr := ((lcg >> 17) % 2048) &^ 63 // 32 lines: heavy conflict traffic
+		write := lcg>>62 == 0
+		now := uint64(step) * 3
+
+		wantStall, wantMiss, wantVictims := mono.Access(core, addr, write, now)
+
+		var hit bool
+		var stall uint64
+		stall, hit, ops = split.AccessPrivate(core, addr, write, now, ops[:0])
+		var miss bool
+		var victims []Victim
+		if hit && len(ops) == 0 {
+			miss, victims = false, nil
+		} else {
+			stall, miss, victims = split.AccessShared(core, write, ops, stall, now)
+		}
+
+		if stall != wantStall || miss != wantMiss || len(victims) != len(wantVictims) {
+			t.Fatalf("step %d: split (stall %d miss %v victims %d) != mono (stall %d miss %v victims %d)",
+				step, stall, miss, len(victims), wantStall, wantMiss, len(wantVictims))
+		}
+		for i := range victims {
+			if victims[i] != wantVictims[i] {
+				t.Fatalf("step %d victim %d: split %+v != mono %+v", step, i, victims[i], wantVictims[i])
+			}
+		}
+	}
+	for i := 0; i < mono.NumLevels(); i++ {
+		if mono.LevelStats(i) != split.LevelStats(i) {
+			t.Errorf("level %d stats diverged: mono %+v split %+v", i, mono.LevelStats(i), split.LevelStats(i))
+		}
+	}
+}
+
 // BenchmarkHierarchy measures the raw pipelined walk on the default
 // three-level stack: a write-heavy strided sweep with a hot subset, so
 // hits, misses and dirty cascades all appear. The per-access cost here

@@ -399,6 +399,44 @@ func (o *OS) Translate(p *Process, vaddr uint64, now uint64) (phys addr.Phys, st
 	return addr.Phys(uint64(frame)*o.cfg.PageBytes + vaddr%o.cfg.PageBytes), stall
 }
 
+// TranslateMapped is the lock-free read path of Translate for pages
+// that are already resident: it resolves the mapping, marks the frame
+// referenced, and reports whether the frame sits on the stacked node —
+// but it never grows the page table, never allocates or evicts a frame,
+// and never touches the OS-wide access counters or the AutoNUMA engine
+// (callers accumulate touches per core and merge them with AddTouches).
+// ok is false when the page is unmapped; the caller must then route the
+// access through the full Translate fault path.
+//
+// Concurrency contract (the parallel engine's run-ahead path): distinct
+// goroutines may call TranslateMapped for distinct processes while a
+// single committer goroutine runs Translate, PROVIDED no evictions can
+// occur (evictions are the only cross-process page-table mutation).
+// Under that no-eviction guarantee a process's table is written only at
+// its own core's commits, each frame's meta is written only by its
+// owning process, and this read path is data-race-free.
+func (o *OS) TranslateMapped(p *Process, vaddr uint64) (phys addr.Phys, onFast, ok bool) {
+	vpage := vaddr / o.cfg.PageBytes
+	if vpage >= uint64(len(p.table)) {
+		return 0, false, false
+	}
+	frame := p.table[vpage]
+	if frame == noFrame {
+		return 0, false, false
+	}
+	o.meta[frame].ref = true
+	return addr.Phys(uint64(frame)*o.cfg.PageBytes + vaddr%o.cfg.PageBytes), uint64(frame) < o.fastFrames, true
+}
+
+// AddTouches merges access counts accumulated outside Translate (the
+// per-core tallies of TranslateMapped callers) into the stacked-node
+// hit-rate counters. Order-independent, so merging per-core sums at the
+// end of a pass reproduces sequential Translate counting exactly.
+func (o *OS) AddTouches(total, fast uint64) {
+	o.totalTouches += total
+	o.fastTouches += fast
+}
+
 // Map eagerly maps [vaddr, vaddr+bytes) (used by OS-level capacity
 // experiments that do not need per-access timing). It returns the
 // number of major faults incurred.

@@ -29,6 +29,10 @@ type Metrics struct {
 	CacheHits     expvar.Int
 	CacheMisses   expvar.Int
 	SimCycles     expvar.Int // simulated cycles completed, all jobs
+	// SimThreadsEffective is a gauge of the per-simulation thread count
+	// the most recent sim job ran with, after the server clamped the
+	// spec's request against the worker pool and GOMAXPROCS.
+	SimThreadsEffective expvar.Int
 
 	// Cluster counters (zero on standalone servers).
 	JobsForwarded  expvar.Int // submits proxied to the ring owner
@@ -168,6 +172,7 @@ func (m *Metrics) Vars() *expvar.Map {
 		if m.clusterInfo != nil {
 			mp.Set("cluster", expvar.Func(m.clusterInfo))
 		}
+		mp.Set("sim_threads_effective", &m.SimThreadsEffective)
 		mp.Set("sim_cycles_total", &m.SimCycles)
 		mp.Set("sim_cycles_per_sec", expvar.Func(func() any { return m.CyclesPerSecond() }))
 		mp.Set("uptime_seconds", expvar.Func(func() any {

@@ -328,12 +328,28 @@ func (s *Server) runJob(j *Job) {
 	s.reportToOrigin(j, b, nil)
 }
 
+// simThreads clamps a job's requested per-simulation thread count
+// against the worker pool: with Workers jobs potentially running at
+// once, each may use at most GOMAXPROCS/Workers threads before the
+// pool oversubscribes the host (floored at 1, the sequential engine).
+func (s *Server) simThreads(requested int) int {
+	if requested <= 1 {
+		return 1
+	}
+	if limit := runtime.GOMAXPROCS(0) / s.opts.Workers; requested > limit {
+		requested = limit
+	}
+	return max(requested, 1)
+}
+
 // runSim executes a single-simulation job.
 func (s *Server) runSim(ctx context.Context, j *Job) (any, error) {
 	o, err := j.Spec.SimOptions()
 	if err != nil {
 		return nil, err
 	}
+	o.Threads = s.simThreads(o.Threads)
+	s.metrics.SimThreadsEffective.Set(int64(o.Threads))
 	o.Progress = j.setSimProgress
 	sys, err := sim.New(o)
 	if err != nil {

@@ -125,6 +125,54 @@ func TestDuplicateSubmitHitsCache(t *testing.T) {
 	}
 }
 
+// TestThreadsExcludedFromHash: the parallel engine is bit-deterministic,
+// so the thread count is pure scheduling — two submissions differing
+// only in threads must share one content hash and one cache entry.
+func TestThreadsExcludedFromHash(t *testing.T) {
+	one := fastSpec(6)
+	one.Threads = 1
+	eight := fastSpec(6)
+	eight.Threads = 8
+	n1, err := one.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n8, err := eight.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.Hash() != n8.Hash() {
+		t.Fatalf("threads changed the content hash: %s vs %s", n1.Hash(), n8.Hash())
+	}
+
+	if _, err := (JobSpec{Kind: KindSim, Policy: "flat", Workload: "bwaves", Threads: -1}).Normalize(); err == nil {
+		t.Fatal("negative threads must be rejected")
+	}
+
+	s := newTestServer(t, Options{Workers: 1})
+	j1, err := s.Submit(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j1, 30*time.Second)
+	r1, err := j1.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Submit(eight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := j2.Status()
+	if st.State != StateDone || !st.Cached {
+		t.Fatalf("threads=8 resubmission: state=%s cached=%v, want done from cache", st.State, st.Cached)
+	}
+	r2, _ := j2.Result()
+	if string(r1) != string(r2) {
+		t.Fatal("cached result differs across thread counts")
+	}
+}
+
 func TestManyJobsFewWorkers(t *testing.T) {
 	s := newTestServer(t, Options{Workers: 2, QueueDepth: 64})
 	const n = 10

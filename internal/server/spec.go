@@ -68,6 +68,14 @@ type JobSpec struct {
 	Instructions uint64 `json:"instructions,omitempty"`
 	Warmup       uint64 `json:"warmup,omitempty"` // 0 = default 4M; use 1 to disable
 	Seed         uint64 `json:"seed,omitempty"`
+	// Threads is the per-simulation worker-thread count handed to
+	// sim.Options.Threads (0 or 1 = sequential). The parallel engine is
+	// bit-deterministic, so Threads changes wall-clock time only — it is
+	// validated here but excluded from the cache hash, and two
+	// submissions differing only in threads share one cache entry. The
+	// server clamps the effective value against its worker pool and
+	// GOMAXPROCS (see the sim_threads_effective metric).
+	Threads int `json:"threads,omitempty"`
 	// CacheLevels replaces the default three-level cache hierarchy with
 	// an explicit stack (ordered from the core outward; see
 	// config.CacheLevelConfig). Empty keeps the scaled default.
@@ -102,6 +110,9 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	}
 	if s.TimeoutMS < 0 {
 		return s, fmt.Errorf("timeout_ms must be non-negative, got %d", s.TimeoutMS)
+	}
+	if s.Threads < 0 {
+		return s, fmt.Errorf("threads must be non-negative, got %d", s.Threads)
 	}
 	if len(s.CacheLevels) > 0 {
 		// Reject malformed hierarchies at submission, not inside a
@@ -195,6 +206,10 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 func (s JobSpec) Hash() string {
 	s.TimeoutMS = 0
 	s.Parallelism = 0
+	// The parallel engine is bit-deterministic (TestParallelEquivalence),
+	// so the thread count is pure scheduling: submissions differing only
+	// in threads must share one cache entry.
+	s.Threads = 0
 	// A replay job is identified by the trace's content (TraceSHA256),
 	// not its filename: moving a recording keeps the cache warm.
 	s.TracePath = ""
@@ -225,6 +240,7 @@ func (s JobSpec) SimOptions() (sim.Options, error) {
 		Seed:                s.Seed,
 		WarmupInstructions:  s.Warmup,
 		TimelineEpochCycles: s.TimelineEpochCycles,
+		Threads:             s.Threads,
 	}
 	if s.TracePath != "" {
 		tr, err := memtrace.LoadFile(s.TracePath)
@@ -267,6 +283,7 @@ func (s JobSpec) MatrixOptions() experiments.Options {
 		Seed:         s.Seed,
 		Workloads:    s.Workloads,
 		Parallelism:  s.Parallelism,
+		Threads:      s.Threads,
 		CacheLevels:  s.CacheLevels,
 	}
 	for _, p := range s.Policies {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"chameleon/internal/config"
@@ -13,9 +14,66 @@ import (
 // the composable hierarchy pipeline: the ns/op here must not regress
 // beyond noise against the pre-pipeline inline walk (BENCH_hier.json
 // records the before/after pair).
+//
+// The seq64/parN sub-benchmarks are the parallel engine's gate
+// (BENCH_parallel.json): a 64-core machine stepping the measured
+// execute pass on the sequential engine versus 2/4/8 worker threads.
+// Construction, prefaulting and a warm pass run outside the timer, so
+// allocs/op reports the steady-state loop (0 for seq64, pinned by
+// TestStepLoopDoesNotAllocate) and ns/op the pure step throughput.
 func BenchmarkStep(b *testing.B) {
 	b.Run("pipeline", func(b *testing.B) { benchStep(b, false) })
 	b.Run("inline", func(b *testing.B) { benchStep(b, true) })
+	b.Run("seq64", func(b *testing.B) { benchStep64(b, 1) })
+	b.Run("par2", func(b *testing.B) { benchStep64(b, 2) })
+	b.Run("par4", func(b *testing.B) { benchStep64(b, 4) })
+	b.Run("par8", func(b *testing.B) { benchStep64(b, 8) })
+}
+
+// benchStep64 steps a 64-core machine through one measured execute pass
+// per op. The workload is miniGhost shrunk until run-ahead translation
+// is provably stable for 64 processes (the parallel engine's enabling
+// condition); its low LLC-MPKI keeps most steps core-local, which is
+// the regime the paper's rate-mode experiments spend their time in.
+func benchStep64(b *testing.B, threads int) {
+	const scale = 512
+	cfg := config.Default(scale)
+	cfg.CPU.Cores = 64
+	prof, err := workload.ByName("miniGhost")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof = prof.Scale(8 * scale)
+	b.ReportAllocs()
+	b.StopTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := New(Options{
+			Config:   cfg,
+			Policy:   PolicyChameleonOpt,
+			Workload: prof,
+			Seed:     7,
+			Threads:  threads,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if threads > 1 && !sys.ParallelEnabled() {
+			b.Fatal("parallel engine not enabled")
+		}
+		sys.ran = true
+		sys.runCtx = context.Background()
+		if err := sys.prefault(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.execute(20_000); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := sys.execute(100_000); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+	}
 }
 
 func benchStep(b *testing.B, inline bool) {

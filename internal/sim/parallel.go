@@ -1,0 +1,521 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"chameleon/internal/hier"
+)
+
+// This file is the parallel execution engine: workers run cores ahead
+// through their private state and park on shared-phase events, which a
+// single sequencer commits in the scheduler's global (time, id) order.
+//
+// # Step decomposition
+//
+// One simulated reference splits into a core-local prefix and a shared
+// suffix. The prefix — reference generation, the instruction gap,
+// mapped-page translation (osmodel.TranslateMapped) and the private
+// cache levels (hier.AccessPrivate) — touches only per-core state and
+// so commutes across cores: workers execute it without coordination. A
+// step whose reference hits a private level with no spill into the
+// shared levels is entirely local and retires on the worker. Everything
+// else — the shared cache levels, the memory-system controller, the
+// DRAM devices, page faults — is deferred as a parked event carrying
+// the step's commit key (the core's pre-step clock) and executed by the
+// sequencer via the same finishStep/applyWalk/AccessShared code the
+// sequential engine runs.
+//
+// # Determinism
+//
+// The sequential scheduler executes steps in (pre-step time, core id)
+// order. Local prefixes commute, so only the shared suffixes' relative
+// order matters; the sequencer commits parked events by exactly that
+// (key, id) order, and it commits an event only once no running core
+// could still produce an earlier one: a running core j's published
+// clock pub[j] lower-bounds the key of every event j may still emit
+// (clocks never decrease), so event (K, i) waits while some running j
+// has pub[j] < K, or pub[j] == K with j < i. Hence shared state sees
+// the sequential interleaving bit for bit, per-core state evolves in
+// program order on a single worker, and the OS access counters are
+// commutative sums merged at the end of the pass — results are
+// DeepEqual-identical to the sequential engine at any thread count
+// (TestParallelEquivalence pins this for every registered policy).
+//
+// # Run-ahead translation safety
+//
+// Workers translate mapped pages lock-free while the sequencer handles
+// faults. That is sound only if no page eviction can occur (evictions
+// are the only cross-process page-table mutation): New enables the
+// engine only when System.translationsStable proves every process's
+// whole virtual span fits in memory, and the sequencer re-checks
+// FreeBytes before each fault commit, turning a violated assumption
+// into a run error instead of a silent race.
+//
+// # Liveness
+//
+// A worker sleeps only when every core it owns is parked or done, and
+// parking/finishing always signals the sequencer. The sequencer waits
+// only when (a) nothing is parked — then some core is running and will
+// park, finish, or drain the pass — or (b) a commit is blocked on a
+// laggard, with a watermark (wmKey/wmWait) armed so the laggard's next
+// publish at or past the key (or its park/finish) wakes the sequencer.
+// Workers re-check the watermark after every local step, so a signal
+// can be delayed by at most one step, never lost.
+
+// Core run states (parEngine.status).
+const (
+	coreRunning int32 = iota // owned by its worker, free to run ahead
+	coreParked               // blocked on event[i], awaiting commit
+	coreDone                 // instruction budget exhausted this pass
+)
+
+// Event kinds (parEvent.kind).
+const (
+	evWalk  uint8 = iota // private walk spilled into the shared levels
+	evFault              // TranslateMapped missed; full fault path needed
+)
+
+// parEvent is one parked shared-phase event.
+type parEvent struct {
+	kind  uint8
+	write bool
+	// key is the commit key: the core's pre-step clock.
+	key uint64
+	// phys is the demand physical address (evWalk) or the faulting
+	// virtual address (evFault).
+	phys uint64
+	// stall is the private-prefix stall accrued so far (evWalk).
+	stall uint64
+}
+
+// parBatchSteps is how many consecutive steps a worker runs on one core
+// before re-picking its minimum-clock core, amortising the scan while
+// keeping owned cores loosely in time order.
+const parBatchSteps = 32
+
+// parEngine is the parallel execution engine's shared state, built once
+// at System construction and reset by each executePar pass.
+type parEngine struct {
+	s       *System
+	threads int
+
+	mu      sync.Mutex
+	seqCond *sync.Cond // sequencer waits here; workers signal it
+
+	workers []*parWorker
+	owner   []*parWorker // owner[i] runs core i
+
+	status []atomic.Int32 // coreRunning/coreParked/coreDone
+	event  []parEvent     // valid while status[i] == coreParked
+	ops    [][]hier.SharedOp
+
+	// pub[i] lower-bounds the commit key of core i's next parked event:
+	// the pre-step clock while a step is in flight (published at the end
+	// of the previous step), the core's clock while idle-runnable, and
+	// MaxUint64 once done.
+	pub []atomic.Uint64
+
+	// Sequencer wait watermark: when wmWait is set, a worker publishing
+	// a clock >= wmKey signals seqCond ( >= , not > : a zero-advance
+	// step can unblock an id tie at the same key).
+	wmKey  atomic.Uint64
+	wmWait atomic.Bool
+
+	nDone   int // cores done this pass; guarded by mu
+	stopped bool
+	stop    atomic.Bool
+	err     error // first failure; guarded by mu
+}
+
+// parWorker owns the contiguous core range [lo, hi).
+type parWorker struct {
+	eng     *parEngine
+	id      int
+	lo, hi  int
+	waiting bool // parked in cond.Wait; guarded by eng.mu
+	cond    *sync.Cond
+}
+
+// newParEngine builds the engine for threads workers. Cores are split
+// into contiguous chunks so one worker's hot SoA entries stay off its
+// neighbours' cache lines.
+func newParEngine(s *System, threads int) *parEngine {
+	n := s.cores.n()
+	e := &parEngine{
+		s:       s,
+		threads: threads,
+		owner:   make([]*parWorker, n),
+		status:  make([]atomic.Int32, n),
+		event:   make([]parEvent, n),
+		ops:     make([][]hier.SharedOp, n),
+		pub:     make([]atomic.Uint64, n),
+	}
+	e.seqCond = sync.NewCond(&e.mu)
+	for i := range e.ops {
+		e.ops[i] = make([]hier.SharedOp, 0, s.hier.MaxOpsPerWalk())
+	}
+	for id := 0; id < threads; id++ {
+		w := &parWorker{eng: e, id: id, lo: id * n / threads, hi: (id + 1) * n / threads}
+		w.cond = sync.NewCond(&e.mu)
+		e.workers = append(e.workers, w)
+		for i := w.lo; i < w.hi; i++ {
+			e.owner[i] = w
+		}
+	}
+	return e
+}
+
+// executePar runs one pass on the parallel engine: spawn the workers,
+// sequence commits on the calling goroutine, join, and fold the
+// workers' touch tallies into the OS.
+func (s *System) executePar(budget uint64) error {
+	s.beginPass(budget)
+	e := s.par
+	c := &s.cores
+	e.err = nil
+	e.stopped = false
+	e.stop.Store(false)
+	e.nDone = 0
+	e.wmWait.Store(false)
+	for i := 0; i < c.n(); i++ {
+		e.status[i].Store(coreRunning)
+		e.pub[i].Store(c.time[i])
+	}
+	var wg sync.WaitGroup
+	for _, w := range e.workers {
+		wg.Add(1)
+		go func(w *parWorker) { defer wg.Done(); w.run() }(w)
+	}
+	err := e.sequence()
+	e.mu.Lock()
+	e.stopped = true
+	e.stop.Store(true)
+	if e.err == nil {
+		e.err = err
+	}
+	for _, w := range e.workers {
+		if w.waiting {
+			w.waiting = false
+			w.cond.Signal()
+		}
+	}
+	e.mu.Unlock()
+	wg.Wait()
+	s.mergeTouches()
+	e.mu.Lock()
+	err = e.err
+	e.mu.Unlock()
+	return err
+}
+
+// mergeTouches folds the workers' per-core mapped-translation tallies
+// into the OS counters. The counts are commutative sums, so merging
+// once per pass reproduces sequential counting exactly.
+func (s *System) mergeTouches() {
+	c := &s.cores
+	for i := range c.touchTotal {
+		if c.touchTotal[i] != 0 {
+			s.os.AddTouches(c.touchTotal[i], c.touchFast[i])
+			c.touchTotal[i], c.touchFast[i] = 0, 0
+		}
+	}
+}
+
+// sequence is the commit loop, run on executePar's goroutine: pick the
+// parked event with the smallest (key, id), wait out laggards that
+// could still produce an earlier one, commit it, and unpark the core.
+func (e *parEngine) sequence() error {
+	s := e.s
+	c := &s.cores
+	n := c.n()
+	commits := 0
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.err != nil {
+			return e.err
+		}
+		if e.nDone == n {
+			return nil
+		}
+		// Minimum (key, id) over parked events; ascending id keeps the
+		// smallest id on key ties.
+		best := -1
+		var bestKey uint64
+		for i := 0; i < n; i++ {
+			if e.status[i].Load() != coreParked {
+				continue
+			}
+			if k := e.event[i].key; best < 0 || k < bestKey {
+				best, bestKey = i, k
+			}
+		}
+		if best < 0 {
+			// Nothing parked: some core is running (nDone < n) and its
+			// park/finish will signal. Publishes alone need not wake us.
+			e.seqWaitLocked(math.MaxUint64)
+			continue
+		}
+		blocked := false
+		for j := 0; j < n; j++ {
+			if e.status[j].Load() != coreRunning {
+				continue
+			}
+			if pj := e.pub[j].Load(); pj < bestKey || (pj == bestKey && j < best) {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			e.seqWaitLocked(bestKey)
+			continue
+		}
+		e.mu.Unlock()
+		err := e.commit(best)
+		if commits++; err == nil && commits >= ctxCheckInterval {
+			commits = 0
+			if cerr := s.runCtx.Err(); cerr != nil {
+				err = fmt.Errorf("sim: run canceled: %w", cerr)
+			}
+		}
+		e.mu.Lock()
+		if err != nil {
+			return err
+		}
+		// Unpark: the core resumes in program order on its worker.
+		e.pub[best].Store(c.time[best])
+		e.status[best].Store(coreRunning)
+		if w := e.owner[best]; w.waiting {
+			w.waiting = false
+			w.cond.Signal()
+		}
+	}
+}
+
+// seqWaitLocked parks the sequencer (mu held) until a worker signals:
+// any park/finish, or — when waiting out a laggard — a publish at or
+// past key.
+func (e *parEngine) seqWaitLocked(key uint64) {
+	e.wmKey.Store(key)
+	e.wmWait.Store(true)
+	e.seqCond.Wait()
+	e.wmWait.Store(false)
+}
+
+// commit executes core i's parked shared-phase event. It is the only
+// place shared simulation state (LLC, controller, devices, OS tables)
+// mutates during a parallel pass.
+func (e *parEngine) commit(i int) error {
+	s := e.s
+	c := &s.cores
+	ev := &e.event[i]
+	if ev.kind == evFault {
+		if s.os.FreeBytes() < s.os.Config().PageBytes {
+			return fmt.Errorf("sim: parallel engine: fault at core %d would evict a page, violating the translation-stability bound; rerun with Threads=1", i)
+		}
+		phys, stall := s.os.Translate(c.proc[i], ev.phys, c.time[i])
+		if stall > 0 {
+			c.time[i] += stall
+			c.faultCycles[i] += stall
+			c.pendingValid[i] = true
+			c.pendingPhys[i] = uint64(phys)
+			c.pendingWrite[i] = ev.write
+			return nil
+		}
+		s.finishStep(i, uint64(phys), ev.write)
+		return nil
+	}
+	stall, llcMiss, victims := s.hier.AccessShared(i, ev.write, e.ops[i], ev.stall, c.time[i])
+	s.applyWalk(i, ev.phys, stall, llcMiss, victims)
+	return nil
+}
+
+// fail records the first error and wakes everyone so the pass unwinds.
+func (e *parEngine) fail(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.stopped = true
+	e.stop.Store(true)
+	for _, w := range e.workers {
+		if w.waiting {
+			w.waiting = false
+			w.cond.Signal()
+		}
+	}
+	e.mu.Unlock()
+	e.seqCond.Signal()
+}
+
+// run is a worker's main loop: pick the owned runnable core with the
+// smallest clock, run it for up to parBatchSteps local steps, repeat;
+// sleep when every owned core is parked, exit when all are done or the
+// pass stops.
+func (w *parWorker) run() {
+	e := w.eng
+	s := e.s
+	c := &s.cores
+	steps := 0
+	for {
+		i := w.pickCore()
+		if i < 0 {
+			if w.sleep() {
+				return
+			}
+			continue
+		}
+		for k := 0; k < parBatchSteps; k++ {
+			if e.stop.Load() {
+				return
+			}
+			if steps++; steps >= ctxCheckInterval {
+				steps = 0
+				if err := s.runCtx.Err(); err != nil {
+					e.fail(fmt.Errorf("sim: run canceled: %w", err))
+					return
+				}
+			}
+			if c.instr[i] >= c.budget[i] {
+				w.finish(i)
+				break
+			}
+			if w.stepLocal(i) {
+				break // parked on a shared-phase event
+			}
+		}
+	}
+}
+
+// pickCore returns the owned running core with the smallest clock, or
+// -1. Reading c.time of an owned core is safe: running cores are
+// stepped only by this worker, and the sequencer's writes during a park
+// are ordered before the running status it stores afterwards.
+func (w *parWorker) pickCore() int {
+	e := w.eng
+	c := &e.s.cores
+	best := -1
+	for i := w.lo; i < w.hi; i++ {
+		if e.status[i].Load() != coreRunning {
+			continue
+		}
+		if best < 0 || c.time[i] < c.time[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// sleep blocks until an owned core is runnable. It reports true when
+// the worker should exit (pass stopped or every owned core done).
+func (w *parWorker) sleep() (exit bool) {
+	e := w.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.stopped {
+			return true
+		}
+		allDone := true
+		for i := w.lo; i < w.hi; i++ {
+			switch e.status[i].Load() {
+			case coreRunning:
+				return false
+			case coreParked:
+				allDone = false
+			}
+		}
+		if allDone {
+			return true
+		}
+		w.waiting = true
+		w.cond.Wait()
+	}
+}
+
+// stepLocal runs one step's core-local prefix on core i, parking the
+// shared suffix if the step needs one. It reports whether the core
+// parked. It mirrors System.step minus the features the engine's
+// fallback conditions exclude (phases, timeline, AutoNUMA, sinks).
+func (w *parWorker) stepLocal(i int) (parked bool) {
+	e := w.eng
+	s := e.s
+	c := &s.cores
+	key := c.time[i] // pre-step clock = commit key; pub[i] already equals it
+	var p uint64
+	var write bool
+	if c.pendingValid[i] {
+		// Replay the reference whose fault the sequencer committed.
+		p, write = c.pendingPhys[i], c.pendingWrite[i]
+		c.pendingValid[i] = false
+	} else {
+		ref := c.stream[i].Next()
+		c.instr[i] += ref.Gap
+		c.time[i] += ref.Gap * s.baseCPIx1000 / 1000
+		phys, onFast, ok := s.os.TranslateMapped(c.proc[i], ref.VAddr)
+		if !ok {
+			e.event[i] = parEvent{kind: evFault, write: ref.Write, key: key, phys: ref.VAddr}
+			w.park(i, key)
+			return true
+		}
+		c.touchTotal[i]++
+		if onFast {
+			c.touchFast[i]++
+		}
+		p, write = uint64(phys), ref.Write
+	}
+	stall, hit, ops := s.hier.AccessPrivate(i, p, write, c.time[i], e.ops[i][:0])
+	e.ops[i] = ops
+	if hit && len(ops) == 0 {
+		// Fully local step: retire and publish the advanced clock.
+		c.time[i] += stall
+		w.publish(i, c.time[i])
+		return false
+	}
+	e.event[i] = parEvent{kind: evWalk, write: write, key: key, phys: p, stall: stall}
+	w.park(i, key)
+	return true
+}
+
+// park hands core i to the sequencer. The event (and the step's state
+// written so far) is made visible by the atomic status store; the
+// signal lands after any in-progress sequencer scan holding mu.
+func (w *parWorker) park(i int, key uint64) {
+	e := w.eng
+	e.pub[i].Store(key)
+	e.mu.Lock()
+	e.status[i].Store(coreParked)
+	e.mu.Unlock()
+	e.seqCond.Signal()
+}
+
+// finish marks core i's budget exhausted for this pass.
+func (w *parWorker) finish(i int) {
+	e := w.eng
+	e.pub[i].Store(math.MaxUint64)
+	e.mu.Lock()
+	e.status[i].Store(coreDone)
+	e.s.cores.done[i] = true
+	e.nDone++
+	e.mu.Unlock()
+	e.seqCond.Signal()
+}
+
+// publish advances core i's clock lower bound after a fully local step
+// and wakes the sequencer if the new clock crosses its armed watermark.
+func (w *parWorker) publish(i int, clock uint64) {
+	e := w.eng
+	e.pub[i].Store(clock)
+	if e.wmWait.Load() && clock >= e.wmKey.Load() {
+		// Acquiring mu serialises with the sequencer: either it is
+		// inside Wait (the signal wakes it) or it has not yet decided to
+		// wait (its re-scan will see the new pub).
+		e.mu.Lock()
+		e.wmWait.Store(false)
+		e.mu.Unlock()
+		e.seqCond.Signal()
+	}
+}

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"chameleon/internal/config"
+	"chameleon/internal/trace"
+	"chameleon/internal/workload"
+)
+
+// parOpts builds the standard options for the parallel-equivalence
+// runs: the default machine, a footprint small enough that run-ahead
+// translation is provably stable for every registered policy, and a
+// policy-agnostic baseline capacity.
+func parOpts(t testing.TB, kind string, threads int) Options {
+	t.Helper()
+	const scale = 512
+	prof, err := workload.ByName("bwaves")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Options{
+		Config:             config.Default(scale),
+		Policy:             PolicyKind(kind),
+		Workload:           prof.Scale(4 * scale),
+		Seed:               29,
+		WarmupInstructions: 100_000,
+		Threads:            threads,
+		BaselineBytes:      24 * config.GB / scale,
+	}
+}
+
+func runPar(t *testing.T, opts Options, wantParallel bool) *Result {
+	t.Helper()
+	sys, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.ParallelEnabled() != wantParallel {
+		t.Fatalf("ParallelEnabled() = %v at %d threads, want %v",
+			sys.ParallelEnabled(), opts.Threads, wantParallel)
+	}
+	res, err := sys.Run(300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestParallelEquivalence: the parallel engine must reproduce the
+// sequential engine bit for bit — per-core results, device and policy
+// counters, every statistic — for every registered policy at every
+// thread count. The commit sequencer replays shared-phase events in the
+// scheduler's exact (time, id) order, so whole runs are DeepEqual.
+func TestParallelEquivalence(t *testing.T) {
+	for _, kind := range PolicyNames() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			seq := runPar(t, parOpts(t, kind, 1), false)
+			for _, threads := range []int{2, 4, 8} {
+				par := runPar(t, parOpts(t, kind, threads), true)
+				if !reflect.DeepEqual(seq, par) {
+					t.Errorf("threads=%d diverged from sequential:\nseq: %+v\npar: %+v",
+						threads, seq, par)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelEquivalenceFaults repeats the equivalence check with
+// prefaulting disabled, so every page is demand-faulted mid-run and the
+// sequencer's fault-commit path (full Translate, pending-replay parking)
+// is exercised rather than just the mapped read path.
+func TestParallelEquivalenceFaults(t *testing.T) {
+	opts := parOpts(t, string(PolicyChameleonOpt), 1)
+	opts.SkipPrefault = true
+	seq := runPar(t, opts, false)
+	if seq.OS.MinorFaults == 0 {
+		t.Fatal("no faults occurred; the test is not exercising the fault path")
+	}
+	for _, threads := range []int{2, 4, 8} {
+		opts := parOpts(t, string(PolicyChameleonOpt), threads)
+		opts.SkipPrefault = true
+		par := runPar(t, opts, true)
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("threads=%d diverged from sequential under demand faulting", threads)
+		}
+	}
+}
+
+// memSink records every emitted reference for byte-identity checks.
+type memSink struct {
+	cores []int
+	refs  []trace.Ref
+}
+
+func (m *memSink) Begin(string, []trace.Profile) error { return nil }
+func (m *memSink) Emit(core int, r trace.Ref) {
+	m.cores = append(m.cores, core)
+	m.refs = append(m.refs, r)
+}
+
+// TestParallelFallback: features that serialize every step (trace
+// capture, timeline sampling) must force the sequential engine
+// regardless of Threads, with results — including the captured trace —
+// identical to a Threads=0 run.
+func TestParallelFallback(t *testing.T) {
+	run := func(threads int) (*Result, *memSink) {
+		opts := parOpts(t, string(PolicyChameleonOpt), threads)
+		sink := &memSink{}
+		opts.TraceSink = sink
+		opts.TimelineEpochCycles = 200_000
+		sys, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sys.ParallelEnabled() {
+			t.Fatalf("threads=%d: trace capture + timeline must fall back to sequential", threads)
+		}
+		res, err := sys.Run(300_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, sink
+	}
+	seqRes, seqSink := run(0)
+	parRes, parSink := run(8)
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Error("fallback run diverged from Threads=0 run")
+	}
+	if len(seqSink.refs) == 0 {
+		t.Fatal("no references captured")
+	}
+	if !reflect.DeepEqual(seqSink, parSink) {
+		t.Error("captured traces differ between Threads=0 and fallback runs")
+	}
+	if len(seqRes.Timeline) == 0 {
+		t.Error("no timeline points sampled")
+	}
+}
+
+// TestStepLoopDoesNotAllocate pins the sequential engine's steady-state
+// step loop at zero allocations per reference: once the system is
+// prefaulted and the scratch buffers have grown to their working sizes,
+// whole execute passes must not allocate. This is the package-level
+// regression gate behind BenchmarkStep's allocs/op column.
+func TestStepLoopDoesNotAllocate(t *testing.T) {
+	opts := parOpts(t, string(PolicyChameleonOpt), 1)
+	opts.WarmupInstructions = 0
+	sys, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ran = true
+	sys.runCtx = context.Background()
+	if err := sys.prefault(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// One warm pass settles caches, remap metadata and scratch buffers.
+	if err := sys.execute(100_000); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := sys.execute(20_000); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state execute pass allocated %.1f times, want 0", allocs)
+	}
+}

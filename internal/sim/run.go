@@ -99,6 +99,7 @@ func (s *System) RunContext(ctx context.Context, instrPerCore uint64) (*Result, 
 			s.auto.ResetWindow()
 		}
 	}
+	c := &s.cores
 	if s.opts.WarmupInstructions > 0 {
 		// Warm caches, remapping tables, hot-segment counters and OS
 		// state without consuming simulated DRAM bandwidth.
@@ -117,17 +118,17 @@ func (s *System) RunContext(ctx context.Context, instrPerCore uint64) (*Result, 
 	// of warm-up (they hit their instruction budget early) do not see
 	// artificially congested devices left behind by slower cores.
 	var t0 uint64
-	for _, c := range s.cores {
-		t0 = max(t0, c.time)
+	for _, tm := range c.time {
+		t0 = max(t0, tm)
 	}
-	start := make([]uint64, len(s.cores))
-	instr0 := make([]uint64, len(s.cores))
-	faults0 := make([]uint64, len(s.cores))
-	for i, c := range s.cores {
-		c.time = t0
-		start[i] = c.time
-		instr0[i] = c.instr
-		faults0[i] = c.faultCycles
+	start := make([]uint64, c.n())
+	instr0 := make([]uint64, c.n())
+	faults0 := make([]uint64, c.n())
+	for i := range start {
+		c.time[i] = t0
+		start[i] = c.time[i]
+		instr0[i] = c.instr[i]
+		faults0[i] = c.faultCycles[i]
 	}
 	if s.opts.TimelineEpochCycles > 0 {
 		s.nextEpoch = t0 + s.opts.TimelineEpochCycles
@@ -171,20 +172,21 @@ func (s *System) prefault(ctx context.Context) error {
 		defer ff.SetFastForward(false)
 	}
 	const chunk = 1 << 20
+	c := &s.cores
 	var maxFootprint uint64
-	for _, c := range s.cores {
-		maxFootprint = max(maxFootprint, c.stream.Profile().FootprintBytes)
+	for _, src := range c.stream {
+		maxFootprint = max(maxFootprint, src.Profile().FootprintBytes)
 	}
 	for off := uint64(0); off < maxFootprint; off += chunk {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("sim: run canceled during prefault: %w", err)
 		}
-		for _, c := range s.cores {
-			fp := c.stream.Profile().FootprintBytes
+		for i := range c.proc {
+			fp := c.stream[i].Profile().FootprintBytes
 			if off >= fp {
 				continue
 			}
-			s.os.Map(c.proc, off, min(chunk, fp-off), c.time)
+			s.os.Map(c.proc[i], off, min(chunk, fp-off), c.time[i])
 		}
 	}
 	return nil
@@ -196,10 +198,11 @@ func (s *System) resetStats() {
 	s.slow.ResetStats()
 	s.hier.ResetStats()
 	s.os.ResetStats()
-	for _, c := range s.cores {
-		c.llcMisses = 0
-		c.faultCycles = 0
-		c.memStall = 0
+	c := &s.cores
+	for i := range c.llcMisses {
+		c.llcMisses[i] = 0
+		c.faultCycles[i] = 0
+		c.memStall[i] = 0
 	}
 }
 
@@ -209,34 +212,60 @@ func (s *System) resetStats() {
 // time.
 const ctxCheckInterval = 4096
 
+// beginPass arms every core for one execute pass — budget further
+// instructions each, not yet done. It is the budget-reset preamble
+// shared by all three engines (heap, linear reference, parallel).
+func (s *System) beginPass(budget uint64) {
+	c := &s.cores
+	for i := range c.budget {
+		c.budget[i] = c.instr[i] + budget
+		c.done[i] = false
+	}
+}
+
+// checkCancel is the shared cancellation probe: it polls the run
+// context once every ctxCheckInterval calls, counting via *steps.
+func (s *System) checkCancel(steps *int) error {
+	if *steps++; *steps < ctxCheckInterval {
+		return nil
+	}
+	*steps = 0
+	if err := s.runCtx.Err(); err != nil {
+		return fmt.Errorf("sim: run canceled: %w", err)
+	}
+	return nil
+}
+
 // execute runs every core for budget further instructions. It returns
-// a non-nil error only when the run context is canceled.
+// a non-nil error only when the run context is canceled (or, on the
+// parallel engine, when a run invariant is violated).
 //
 // Cores advance in (time, id) order via an indexed min-heap: pick the
 // root, step it, then either sift its advanced clock down or pop it
 // when its budget is spent. O(log cores) per reference instead of the
-// O(cores) scan of executeLinear, with identical scheduling order.
+// O(cores) scan of executeLinear, with identical scheduling order. With
+// Options.Threads > 1 (and no sequential fallback, see System.par) the
+// pass instead runs on the parallel engine, which reproduces the same
+// order at commit granularity.
 func (s *System) execute(budget uint64) error {
 	if s.linearSched {
 		return s.executeLinear(budget)
 	}
-	for _, c := range s.cores {
-		c.budget = c.instr + budget
-		c.done = false
+	if s.par != nil && !s.inlineWalk {
+		return s.executePar(budget)
 	}
-	h := newCoreHeap(s.cores)
+	s.beginPass(budget)
+	c := &s.cores
+	h := newCoreHeap(c.time, s.heapIdx)
 	steps := 0
 	for h.len() > 0 {
-		if steps++; steps >= ctxCheckInterval {
-			steps = 0
-			if err := s.runCtx.Err(); err != nil {
-				return fmt.Errorf("sim: run canceled: %w", err)
-			}
+		if err := s.checkCancel(&steps); err != nil {
+			return err
 		}
-		next := h.peek()
-		s.step(next)
-		if next.instr >= next.budget {
-			next.done = true
+		i := h.peek()
+		s.step(int(i))
+		if c.instr[i] >= c.budget[i] {
+			c.done[i] = true
 			h.pop()
 		} else {
 			h.fix()
@@ -250,105 +279,120 @@ func (s *System) execute(budget uint64) error {
 // scheduler-equivalence test and benchmark baseline (System.linearSched
 // routes execute here).
 func (s *System) executeLinear(budget uint64) error {
-	for _, c := range s.cores {
-		c.budget = c.instr + budget
-		c.done = false
-	}
+	s.beginPass(budget)
+	c := &s.cores
 	steps := 0
 	for {
-		if steps++; steps >= ctxCheckInterval {
-			steps = 0
-			if err := s.runCtx.Err(); err != nil {
-				return fmt.Errorf("sim: run canceled: %w", err)
-			}
+		if err := s.checkCancel(&steps); err != nil {
+			return err
 		}
 		// Advance the core with the smallest local clock.
-		var next *core
-		for _, c := range s.cores {
-			if c.done {
+		next := -1
+		for i := range c.time {
+			if c.done[i] {
 				continue
 			}
-			if next == nil || c.time < next.time {
-				next = c
+			if next < 0 || c.time[i] < c.time[next] {
+				next = i
 			}
 		}
-		if next == nil {
+		if next < 0 {
 			return nil
 		}
 		s.step(next)
-		if next.instr >= next.budget {
-			next.done = true
+		if c.instr[next] >= c.budget[next] {
+			c.done[next] = true
 		}
 	}
 }
 
-// step executes one reference on core c: the instruction gap, address
+// step executes one reference on core i: the instruction gap, address
 // translation (with demand paging), the cache hierarchy and, on an LLC
 // miss, the memory system.
-func (s *System) step(c *core) {
+func (s *System) step(i int) {
+	c := &s.cores
 	if s.phaseOn {
-		s.phaseChurn(c)
+		s.phaseChurn(i)
 	}
 	var p uint64
 	var write bool
-	if c.pendingValid {
+	if c.pendingValid[i] {
 		// Replay the reference that faulted last time, now that the
 		// core has been rescheduled in global time order.
-		p, write = c.pendingPhys, c.pendingWrite
-		c.pendingValid = false
+		p, write = c.pendingPhys[i], c.pendingWrite[i]
+		c.pendingValid[i] = false
 	} else {
-		ref := c.stream.Next()
+		ref := c.stream[i].Next()
 		if s.sinkOn {
-			s.opts.TraceSink.Emit(c.id, ref)
+			s.opts.TraceSink.Emit(i, ref)
 		}
-		c.instr += ref.Gap
-		c.time += ref.Gap * s.baseCPIx1000 / 1000
+		c.instr[i] += ref.Gap
+		c.time[i] += ref.Gap * s.baseCPIx1000 / 1000
 
-		phys, stall := s.os.Translate(c.proc, ref.VAddr, c.time)
+		phys, stall := s.os.Translate(c.proc[i], ref.VAddr, c.time[i])
 		if s.autoOn {
-			s.auto.Tick(c.time)
+			s.auto.Tick(c.time[i])
 		}
 		if s.timelineOn {
-			s.sampleTimeline(c.time)
+			s.sampleTimeline(c.time[i])
 		}
 		if stall > 0 {
-			c.time += stall
-			c.faultCycles += stall
-			c.pendingValid = true
-			c.pendingPhys = uint64(phys)
-			c.pendingWrite = ref.Write
+			c.time[i] += stall
+			c.faultCycles[i] += stall
+			c.pendingValid[i] = true
+			c.pendingPhys[i] = uint64(phys)
+			c.pendingWrite[i] = ref.Write
 			return
 		}
 		p, write = uint64(phys), ref.Write
 	}
+	s.finishStep(i, p, write)
+}
+
+// finishStep is the walk-and-memory-system suffix of one step: the
+// cache hierarchy walk followed by applyWalk. The sequential engine
+// calls it from step; the parallel sequencer calls it when committing a
+// fault event whose page was mapped with no stall (the step then
+// continues exactly as it would have sequentially).
+func (s *System) finishStep(i int, p uint64, write bool) {
 	var walkStall uint64
 	var llcMiss bool
 	var victims []hier.Victim
 	if s.inlineWalk {
-		walkStall, llcMiss, victims = s.walkInline(c.id, p, write, c.time)
+		walkStall, llcMiss, victims = s.walkInline(i, p, write, s.cores.time[i])
 	} else {
-		walkStall, llcMiss, victims = s.hier.Access(c.id, p, write, c.time)
+		walkStall, llcMiss, victims = s.hier.Access(i, p, write, s.cores.time[i])
 	}
+	s.applyWalk(i, p, walkStall, llcMiss, victims)
+}
+
+// applyWalk charges a finished walk to core i and the memory system:
+// spilled writebacks reserve device occupancy, the walk stall advances
+// the core, and an LLC miss pays the controller's (MLP-divided)
+// latency. It is the shared-state tail of every step — the parallel
+// sequencer commits it for worker-parked walks.
+func (s *System) applyWalk(i int, p uint64, walkStall uint64, llcMiss bool, victims []hier.Victim) {
+	c := &s.cores
 	// Dirty victims that spilled past the LLC reach the memory system
 	// at the walk time they were evicted; they reserve device occupancy
 	// but charge the core nothing (see the internal/hier package
 	// comment for why writebacks are modelled as free).
-	for i := range victims {
-		s.ctrl.Access(victims[i].Now, addr.Phys(victims[i].Addr), true)
+	for k := range victims {
+		s.ctrl.Access(victims[k].Now, addr.Phys(victims[k].Addr), true)
 	}
-	c.time += walkStall
+	c.time[i] += walkStall
 	if !llcMiss {
 		return
 	}
 
-	c.llcMisses++
-	res := s.ctrl.Access(c.time, addr.Phys(p), false)
-	lat := res.Done - c.time
+	c.llcMisses[i]++
+	res := s.ctrl.Access(c.time[i], addr.Phys(p), false)
+	lat := res.Done - c.time[i]
 	// An out-of-order core overlaps up to MaxMLP misses; the effective
 	// stall per miss is the latency divided by the attainable overlap.
 	stallCycles := lat / uint64(s.cfg.CPU.MaxMLP)
-	c.time += stallCycles
-	c.memStall += stallCycles
+	c.time[i] += stallCycles
+	c.memStall[i] += stallCycles
 }
 
 // phaseChurn models §III-B's time-varying memory demand: at each phase
@@ -356,22 +400,23 @@ func (s *System) step(c *core) {
 // past its footprint, issuing ISA-Alloc/ISA-Free through the OS and
 // letting Chameleon's segment groups switch modes mid-run.
 // Callers gate on System.phaseOn, so the options are known non-zero.
-func (s *System) phaseChurn(c *core) {
-	if c.phaseNext == 0 {
-		c.phaseNext = c.instr + s.opts.PhaseEveryInstructions
+func (s *System) phaseChurn(i int) {
+	c := &s.cores
+	if c.phaseNext[i] == 0 {
+		c.phaseNext[i] = c.instr[i] + s.opts.PhaseEveryInstructions
 		return
 	}
-	if c.instr < c.phaseNext {
+	if c.instr[i] < c.phaseNext[i] {
 		return
 	}
-	c.phaseNext += s.opts.PhaseEveryInstructions
-	base := c.stream.Profile().FootprintBytes
-	if c.phaseHeld {
-		s.os.FreeRange(c.proc, base, s.opts.PhaseAllocBytes, c.time)
+	c.phaseNext[i] += s.opts.PhaseEveryInstructions
+	base := c.stream[i].Profile().FootprintBytes
+	if c.phaseHeld[i] {
+		s.os.FreeRange(c.proc[i], base, s.opts.PhaseAllocBytes, c.time[i])
 	} else {
-		s.os.Map(c.proc, base, s.opts.PhaseAllocBytes, c.time)
+		s.os.Map(c.proc[i], base, s.opts.PhaseAllocBytes, c.time[i])
 	}
-	c.phaseHeld = !c.phaseHeld
+	c.phaseHeld[i] = !c.phaseHeld[i]
 }
 
 // walkInline is the pre-pipeline cache walk: the hand-rolled L1→L2→L3
@@ -426,21 +471,22 @@ func (s *System) collect(start, instr0, faults0 []uint64) *Result {
 	}
 	logSum := 0.0
 	var faultCycles, totalCycles uint64
-	for i, c := range s.cores {
-		instr := c.instr - instr0[i]
-		cycles := c.time - start[i]
+	c := &s.cores
+	for i := 0; i < c.n(); i++ {
+		instr := c.instr[i] - instr0[i]
+		cycles := c.time[i] - start[i]
 		cr := CoreResult{
-			Workload:     c.stream.Profile().Name,
+			Workload:     c.stream[i].Profile().Name,
 			Instructions: instr,
 			Cycles:       cycles,
-			LLCMisses:    c.llcMisses,
-			FaultCycles:  c.faultCycles - faults0[i],
+			LLCMisses:    c.llcMisses[i],
+			FaultCycles:  c.faultCycles[i] - faults0[i],
 		}
 		if cycles > 0 {
 			cr.IPC = float64(instr) / float64(cycles)
 		}
 		if instr > 0 {
-			cr.MPKI = float64(c.llcMisses) / (float64(instr) / 1000)
+			cr.MPKI = float64(c.llcMisses[i]) / (float64(instr) / 1000)
 		}
 		r.Cores = append(r.Cores, cr)
 		if cr.IPC > 0 {
@@ -448,8 +494,8 @@ func (s *System) collect(start, instr0, faults0 []uint64) *Result {
 		}
 		faultCycles += cr.FaultCycles
 		totalCycles += cycles
-		if c.time > r.MaxCycles {
-			r.MaxCycles = c.time
+		if c.time[i] > r.MaxCycles {
+			r.MaxCycles = c.time[i]
 		}
 	}
 	if n := len(r.Cores); n > 0 {

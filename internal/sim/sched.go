@@ -1,64 +1,75 @@
 package sim
 
-// coreHeap is a binary min-heap of runnable cores ordered by
-// (time, id). The id tie-break makes the minimum unique, so heap
-// selection is identical to a first-strictly-smaller linear scan over
-// the cores slice — the two schedulers produce bit-identical runs.
+// coreHeap is a binary min-heap of runnable core indices ordered by
+// (time, id), where time aliases the struct-of-arrays clock slice. The
+// id tie-break makes the minimum unique, so heap selection is identical
+// to a first-strictly-smaller linear scan over the cores — the two
+// schedulers produce bit-identical runs.
 //
 // Only the scheduled core's clock ever advances, so the heap needs no
 // general decrease-key: after a step either the root sifts down (fix)
-// or, when the core exhausts its budget, it is popped.
+// or, when the core exhausts its budget, it is popped. The index
+// storage is supplied by the caller (System.heapIdx) and reused across
+// execute passes, keeping the scheduler allocation-free.
 type coreHeap struct {
-	cs []*core
+	time []uint64 // aliases coreSoA.time; never written by the heap
+	idx  []int32
 }
 
-func newCoreHeap(cores []*core) *coreHeap {
-	h := &coreHeap{cs: append([]*core(nil), cores...)}
-	for i := len(h.cs)/2 - 1; i >= 0; i-- {
+// newCoreHeap builds a heap over cores 0..len(time)-1. storage is
+// reused as the index backing array; pass nil to allocate fresh (tests).
+func newCoreHeap(time []uint64, storage []int32) coreHeap {
+	h := coreHeap{time: time, idx: storage[:0]}
+	for i := range time {
+		h.idx = append(h.idx, int32(i))
+	}
+	for i := len(h.idx)/2 - 1; i >= 0; i-- {
 		h.siftDown(i)
 	}
 	return h
 }
 
-func (h *coreHeap) len() int { return len(h.cs) }
+func (h *coreHeap) len() int { return len(h.idx) }
 
-// peek returns the core with the smallest (time, id) without removing
-// it.
-func (h *coreHeap) peek() *core { return h.cs[0] }
+// peek returns the core index with the smallest (time, id) without
+// removing it.
+func (h *coreHeap) peek() int32 { return h.idx[0] }
 
 // fix restores heap order after the root core's clock advanced.
 func (h *coreHeap) fix() { h.siftDown(0) }
 
 // pop removes the root core (it finished its instruction budget).
 func (h *coreHeap) pop() {
-	n := len(h.cs) - 1
-	h.cs[0] = h.cs[n]
-	h.cs[n] = nil
-	h.cs = h.cs[:n]
+	n := len(h.idx) - 1
+	h.idx[0] = h.idx[n]
+	h.idx = h.idx[:n]
 	if n > 1 {
 		h.siftDown(0)
 	}
 }
 
-func coreLess(a, b *core) bool {
-	return a.time < b.time || (a.time == b.time && a.id < b.id)
+// less orders cores by (time, id); the global step order every engine
+// in this package — linear scan, heap, parallel commit sequencer —
+// agrees on.
+func (h *coreHeap) less(a, b int32) bool {
+	return h.time[a] < h.time[b] || (h.time[a] == h.time[b] && a < b)
 }
 
 func (h *coreHeap) siftDown(i int) {
-	n := len(h.cs)
+	n := len(h.idx)
 	for {
 		l := 2*i + 1
 		if l >= n {
 			return
 		}
 		m := l
-		if r := l + 1; r < n && coreLess(h.cs[r], h.cs[l]) {
+		if r := l + 1; r < n && h.less(h.idx[r], h.idx[l]) {
 			m = r
 		}
-		if !coreLess(h.cs[m], h.cs[i]) {
+		if !h.less(h.idx[m], h.idx[i]) {
 			return
 		}
-		h.cs[i], h.cs[m] = h.cs[m], h.cs[i]
+		h.idx[i], h.idx[m] = h.idx[m], h.idx[i]
 		i = m
 	}
 }

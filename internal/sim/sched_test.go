@@ -58,23 +58,25 @@ func TestSchedulerEquivalence(t *testing.T) {
 // it yields (time, id) order.
 func TestCoreHeapOrder(t *testing.T) {
 	times := []uint64{90, 10, 50, 10, 70, 30, 50, 20}
-	var cores []*core
-	for i, tm := range times {
-		cores = append(cores, &core{id: i, time: tm})
+	h := newCoreHeap(times, nil)
+	type popped struct {
+		id   int32
+		time uint64
 	}
-	h := newCoreHeap(cores)
-	var got []*core
+	var got []popped
 	for h.len() > 0 {
-		got = append(got, h.peek())
+		i := h.peek()
+		got = append(got, popped{id: i, time: times[i]})
 		h.pop()
 	}
-	if len(got) != len(cores) {
-		t.Fatalf("drained %d cores, want %d", len(got), len(cores))
+	if len(got) != len(times) {
+		t.Fatalf("drained %d cores, want %d", len(got), len(times))
 	}
 	for i := 1; i < len(got); i++ {
-		if coreLess(got[i], got[i-1]) {
+		a, b := got[i-1], got[i]
+		if b.time < a.time || (b.time == a.time && b.id < a.id) {
 			t.Errorf("pop %d (time %d, id %d) out of order after (time %d, id %d)",
-				i, got[i].time, got[i].id, got[i-1].time, got[i-1].id)
+				i, b.time, b.id, a.time, a.id)
 		}
 	}
 	if got[0].id != 1 || got[1].id != 3 {
@@ -85,20 +87,22 @@ func TestCoreHeapOrder(t *testing.T) {
 // TestCoreHeapFix advances the root repeatedly (the execute pattern)
 // and checks the heap keeps selecting the global minimum.
 func TestCoreHeapFix(t *testing.T) {
-	var cores []*core
-	for i := 0; i < 5; i++ {
-		cores = append(cores, &core{id: i, time: uint64(i)})
+	times := make([]uint64, 5)
+	for i := range times {
+		times[i] = uint64(i)
 	}
-	h := newCoreHeap(cores)
-	var last *core
+	h := newCoreHeap(times, nil)
+	lastID := int32(-1)
+	var lastTime uint64
 	for step := 0; step < 200; step++ {
-		c := h.peek()
-		if last != nil && coreLess(c, last) {
+		i := h.peek()
+		tm := times[i]
+		if lastID >= 0 && (tm < lastTime || (tm == lastTime && i < lastID)) {
 			t.Fatalf("step %d: selected (time %d, id %d) before previous (time %d, id %d)",
-				step, c.time, c.id, last.time, last.id)
+				step, tm, i, lastTime, lastID)
 		}
-		last = &core{id: c.id, time: c.time}
-		c.time += uint64(7+3*c.id) % 11
+		lastID, lastTime = i, tm
+		times[i] += uint64(7+3*i) % 11
 		h.fix()
 	}
 }

@@ -93,10 +93,29 @@ type Options struct {
 	PhaseEveryInstructions uint64
 	// Seed makes the run deterministic.
 	Seed uint64
+	// Threads is the number of worker goroutines the run may shard its
+	// simulated cores across (0 or 1 selects the sequential engine).
+	// Workers run ahead through core-private state (reference
+	// generation, mapped-page translation, private cache levels) and
+	// park on shared-phase events (LLC, memory controller, page
+	// faults), which a sequencer commits in the scheduler's global
+	// (time, id) order — so results are bit-identical to the sequential
+	// engine at any thread count (see TestParallelEquivalence). The
+	// engine silently falls back to sequential execution when a feature
+	// serializes every step anyway (trace capture, timeline sampling,
+	// allocation-churn phases, AutoNUMA) or when the working set could
+	// trigger page evictions, which would make run-ahead translation
+	// unsafe (see System.translationsStable).
+	Threads int
 	// TraceSink, when non-nil, receives every per-core reference the
 	// run consumes — warm-up included — in consumption order, making
 	// the run recordable (see internal/memtrace.Writer). Begin is
 	// called once during New with the resolved per-core profiles.
+	// Concurrency contract: Emit is invoked only from the goroutine
+	// that sequences step commits, in commit order — a recording run
+	// executes on the sequential engine regardless of Threads — so
+	// single-goroutine sinks keep working unchanged at any thread
+	// count.
 	TraceSink trace.Sink `json:"-"`
 	// Sources supplies pre-built per-core reference streams: core i
 	// runs Sources[i], overriding the synthetic Workload/Mix/Copies
@@ -107,36 +126,78 @@ type Options struct {
 	Sources []trace.Source `json:"-"`
 	// Progress, when non-nil, receives every TimelinePoint as it is
 	// sampled during the measured run (requires TimelineEpochCycles).
-	// It is called from the simulation goroutine; long-running or
-	// blocking callbacks slow the simulation down.
+	// Concurrency contract: like TraceSink.Emit it is invoked only from
+	// the goroutine that sequences step commits, in commit order — a
+	// timeline-sampling run executes on the sequential engine
+	// regardless of Threads — so existing single-goroutine callbacks
+	// need no locking. Long-running or blocking callbacks slow the
+	// simulation down.
 	Progress func(TimelinePoint) `json:"-"`
 }
 
-type core struct {
-	id     int
-	stream trace.Source
-	proc   *osmodel.Process
+// coreSoA holds per-core state in struct-of-arrays layout, indexed by
+// core id. The step loop touches time/instr/budget for every simulated
+// reference; keeping the hot fields in dense parallel slices puts the
+// whole scheduler working set on a handful of cache lines instead of
+// chasing one heap object per core, and gives the parallel engine
+// per-field ownership boundaries (workers mutate only their own cores'
+// entries).
+type coreSoA struct {
+	stream []trace.Source
+	proc   []*osmodel.Process
 
-	time        uint64
-	instr       uint64
-	budget      uint64
-	done        bool
-	llcMisses   uint64
-	faultCycles uint64
-	memStall    uint64
+	time   []uint64
+	instr  []uint64
+	budget []uint64
+	done   []bool
 
-	// A page-fault stall advances this core's clock far beyond its
-	// peers; the faulting reference is parked here and replayed when
-	// the core is next scheduled in time order, so its access does not
-	// reserve device queues deep in the simulated future.
-	pendingValid bool
-	pendingPhys  uint64
-	pendingWrite bool
+	llcMisses   []uint64
+	faultCycles []uint64
+	memStall    []uint64
+
+	// A page-fault stall advances a core's clock far beyond its peers;
+	// the faulting reference is parked here and replayed when the core
+	// is next scheduled in time order, so its access does not reserve
+	// device queues deep in the simulated future.
+	pendingValid []bool
+	pendingPhys  []uint64
+	pendingWrite []bool
 
 	// Allocation-churn phase state (Options.PhaseAllocBytes).
-	phaseNext uint64 // instruction count of the next phase boundary
-	phaseHeld bool   // transient buffer currently allocated
+	phaseNext []uint64 // instruction count of the next phase boundary
+	phaseHeld []bool   // transient buffer currently allocated
+
+	// touchTotal/touchFast accumulate the stacked-node access counts of
+	// run-ahead TranslateMapped calls per core (a commutative sum the
+	// sequential path bumps inside osmodel directly); mergeTouches folds
+	// them into the OS at the end of every parallel pass.
+	touchTotal []uint64
+	touchFast  []uint64
 }
+
+func newCoreSoA(n int) coreSoA {
+	return coreSoA{
+		stream:       make([]trace.Source, n),
+		proc:         make([]*osmodel.Process, n),
+		time:         make([]uint64, n),
+		instr:        make([]uint64, n),
+		budget:       make([]uint64, n),
+		done:         make([]bool, n),
+		llcMisses:    make([]uint64, n),
+		faultCycles:  make([]uint64, n),
+		memStall:     make([]uint64, n),
+		pendingValid: make([]bool, n),
+		pendingPhys:  make([]uint64, n),
+		pendingWrite: make([]bool, n),
+		phaseNext:    make([]uint64, n),
+		phaseHeld:    make([]bool, n),
+		touchTotal:   make([]uint64, n),
+		touchFast:    make([]uint64, n),
+	}
+}
+
+// n returns the core count.
+func (c *coreSoA) n() int { return len(c.time) }
 
 // System is one fully constructed simulation.
 type System struct {
@@ -148,7 +209,16 @@ type System struct {
 	os    *osmodel.OS
 	auto  *osmodel.AutoNUMA
 	hier  *hier.Hierarchy
-	cores []*core
+	cores coreSoA
+
+	// heapIdx is the scheduler heap's reusable index storage, sized at
+	// construction so execute passes allocate nothing.
+	heapIdx []int32
+	// par is the parallel execution engine, non-nil when Options.Threads
+	// asked for more than one worker AND the run qualifies (no
+	// serializing features, translations stable). execute routes
+	// through it unless a test reference path is forced.
+	par *parEngine
 
 	// runName is the result's workload label, fixed at construction:
 	// the profile name, the "+"-joined mix, or a replayed trace's
@@ -322,6 +392,8 @@ func New(opts Options) (*System, error) {
 		return nil, err
 	}
 	var perProc uint64
+	s.cores = newCoreSoA(copies)
+	s.heapIdx = make([]int32, 0, copies)
 	for i := 0; i < copies; i++ {
 		var src trace.Source
 		if len(opts.Sources) > 0 {
@@ -338,10 +410,18 @@ func New(opts Options) (*System, error) {
 			src = st
 		}
 		perProc = max(perProc, src.Profile().FootprintBytes)
-		s.cores = append(s.cores, &core{id: i, stream: src, proc: s.os.NewProcess()})
+		s.cores.stream[i] = src
+		s.cores.proc[i] = s.os.NewProcess()
 	}
 	if uint64(copies)*perProc > osCfg.TotalBytes*4 {
 		return nil, fmt.Errorf("sim: footprint %d x%d implausibly exceeds capacity %d", perProc, copies, osCfg.TotalBytes)
+	}
+	if thr := min(opts.Threads, copies); thr > 1 &&
+		!s.phaseOn && !s.timelineOn && !s.autoOn && s.translationsStable() {
+		// sinkOn is latched below; New checks opts.TraceSink directly.
+		if opts.TraceSink == nil {
+			s.par = newParEngine(s, thr)
+		}
 	}
 	s.runName = opts.Workload.Name
 	if len(opts.Mix) > 0 {
@@ -354,9 +434,9 @@ func New(opts Options) (*System, error) {
 		s.runName = strings.Join(names, "+")
 	}
 	if opts.TraceSink != nil {
-		profs := make([]trace.Profile, len(s.cores))
-		for i, c := range s.cores {
-			profs[i] = c.stream.Profile()
+		profs := make([]trace.Profile, s.cores.n())
+		for i := range profs {
+			profs[i] = s.cores.stream[i].Profile()
 		}
 		if err := opts.TraceSink.Begin(s.runName, profs); err != nil {
 			return nil, fmt.Errorf("sim: trace sink: %w", err)
@@ -365,6 +445,27 @@ func New(opts Options) (*System, error) {
 	}
 	return s, nil
 }
+
+// translationsStable reports whether run-ahead translation is safe: no
+// page eviction can ever occur, because every process's whole virtual
+// span fits in physical memory simultaneously. Evictions are the only
+// cross-process page-table mutation, so under this bound the parallel
+// engine's lock-free TranslateMapped reads race with nothing (the
+// sequencer additionally guards every fault commit with a free-memory
+// check, turning a violated assumption into a run error instead of a
+// silent nondeterminism).
+func (s *System) translationsStable() bool {
+	page := s.os.Config().PageBytes
+	var need uint64
+	for _, src := range s.cores.stream {
+		need += (src.Profile().MaxVAddr()+page-1)/page + 2
+	}
+	return need*page <= s.os.Config().TotalBytes
+}
+
+// ParallelEnabled reports whether this run will use the parallel
+// engine (Options.Threads accepted and no sequential fallback applied).
+func (s *System) ParallelEnabled() bool { return s.par != nil }
 
 // Hierarchy exposes the cache stack (for tests).
 func (s *System) Hierarchy() *hier.Hierarchy { return s.hier }

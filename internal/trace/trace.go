@@ -62,6 +62,21 @@ func (p Profile) Scale(div uint64) Profile {
 	return p
 }
 
+// MaxVAddr returns an inclusive upper bound on the virtual addresses
+// the synthetic generator can emit for this profile: the footprint
+// itself, or the end of the hot region when HotRegionFrac pushes it
+// past the footprint (the hot region starts at footprint/4). Replayed
+// traces recorded from synthetic streams obey the same bound. The
+// parallel engine uses it to prove a run can never evict a page.
+func (p Profile) MaxVAddr() uint64 {
+	hot := uint64(float64(p.FootprintBytes)*p.HotRegionFrac) &^ 63
+	if hot < 4096 {
+		hot = 4096
+	}
+	base := (p.FootprintBytes / 4) &^ 63
+	return max(p.FootprintBytes, base+hot)
+}
+
 // Ref is one generated memory reference.
 type Ref struct {
 	Gap   uint64 // instructions executed since the previous reference
