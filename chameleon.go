@@ -59,6 +59,37 @@ type Config = config.Config
 // simulator builds (any depth, private or shared per level).
 type CacheLevelConfig = config.CacheLevelConfig
 
+// MemTierConfig describes one tier of the memory stack; order
+// Config.MemoryTiers from the nearest (fastest) tier outward. Each
+// tier is a DRAM, NVM or CXL device with an optional power profile.
+type MemTierConfig = config.MemTierConfig
+
+// NVMConfig describes a byte-addressable non-volatile memory device
+// with asymmetric read/write latency and write-endurance accounting.
+type NVMConfig = config.NVMConfig
+
+// CXLConfig describes a CXL-attached far-memory device behind a
+// serial link with its own latency and bandwidth.
+type CXLConfig = config.CXLConfig
+
+// PowerConfig is a memory device's energy profile.
+type PowerConfig = config.PowerConfig
+
+// Memory-tier kinds for MemTierConfig.Kind.
+const (
+	TierDRAM = config.TierDRAM
+	TierNVM  = config.TierNVM
+	TierCXL  = config.TierCXL
+)
+
+// DefaultNVM returns a representative NVM device config (Optane-class
+// latencies and endurance) of the given capacity.
+func DefaultNVM(capacityBytes uint64) NVMConfig { return config.DefaultNVM(capacityBytes) }
+
+// DefaultCXL returns a representative CXL memory expander config of
+// the given capacity.
+func DefaultCXL(capacityBytes uint64) CXLConfig { return config.DefaultCXL(capacityBytes) }
+
 // DefaultConfig returns the paper's Table I configuration with
 // capacities (and outer cache-level sizes) divided by scale. Scale 1 is
 // the full-size 4 GB + 20 GB machine.
@@ -108,6 +139,17 @@ func PolicyNeedsBaseline(name string) bool {
 	return err == nil && d.RequiresBaseline
 }
 
+// PolicyRequiredTiers returns the minimum number of memory tiers the
+// named design drives (2 for the paper's fast/slow pair; tiering
+// policies such as "hwc" need 3). Unknown names return 2.
+func PolicyRequiredTiers(name string) int {
+	d, err := policy.Lookup(name)
+	if err != nil {
+		return 2
+	}
+	return d.RequiredTiers()
+}
+
 // Options configure one simulation run.
 type Options = sim.Options
 
@@ -123,6 +165,10 @@ type CoreResult = sim.CoreResult
 // LevelResult is one cache level's aggregated statistics in a Result
 // (Result.Levels, ordered from the core outward).
 type LevelResult = sim.LevelResult
+
+// TierResult is one memory tier's aggregated statistics in a Result
+// (Result.Tiers, ordered nearest first).
+type TierResult = sim.TierResult
 
 // TimelinePoint is one sample of the optional run timeline (set
 // Options.TimelineEpochCycles).

@@ -183,22 +183,33 @@ func run(rc runCfg) error {
 		res.Ctrl.ISAAllocs, res.Ctrl.ISAFrees, res.Ctrl.ProactiveMoves, res.Ctrl.ClearedSegments)
 	fmt.Printf("page faults       %d major, %d minor (%d evictions)\n",
 		res.OS.MajorFaults, res.OS.MinorFaults, res.OS.Evictions)
-	fmt.Printf("stacked DRAM      %d reads, %d writes, %.1f%% row hits\n",
-		res.Fast.Reads, res.Fast.Writes, rowHitPct(res.Fast.RowHits, res.Fast.Reads+res.Fast.Writes))
-	fmt.Printf("off-chip DRAM     %d reads, %d writes, %.1f%% row hits\n",
-		res.Slow.Reads, res.Slow.Writes, rowHitPct(res.Slow.RowHits, res.Slow.Reads+res.Slow.Writes))
+	for _, tr := range res.Tiers {
+		d := tr.Device
+		label := fmt.Sprintf("%s (%s)", tr.Tier, tr.Kind)
+		line := fmt.Sprintf("%-18s%.0f reads, %.0f writes, %.1f%% occupied",
+			label, d["reads"], d["writes"], tr.Occupancy*100)
+		switch tr.Kind {
+		case config.TierDRAM:
+			line += fmt.Sprintf(", %.1f%% row hits", rowHitPct(d["row_hits"], d["reads"]+d["writes"]))
+		case config.TierNVM:
+			line += fmt.Sprintf(", wear max %.0f writes/block (%.0f worn)", d["max_wear"], d["worn_blocks"])
+		case config.TierCXL:
+			line += fmt.Sprintf(", %.0f link waits", d["link_waits"])
+		}
+		fmt.Println(line)
+	}
 	if len(res.NUMATimeline) > 0 {
 		fmt.Printf("autonuma          %d epochs, %d migrations, %d failures\n",
 			len(res.NUMATimeline), res.OS.Migrations, res.OS.MigrateFails)
 	}
 	if rc.energy {
-		fe, se := sys.DeviceEnergy(res.MaxCycles)
-		fu, su := sys.DeviceUtilisation(res.MaxCycles)
 		seconds := float64(res.MaxCycles) / cfg.CPU.FreqHz
-		fmt.Printf("stacked energy    %.2f mJ (%.0f mW avg), %.1f%% bus utilisation\n",
-			fe.TotalNJ()/1e6, fe.AveragePowerMW(seconds), fu*100)
-		fmt.Printf("off-chip energy   %.2f mJ (%.0f mW avg), %.1f%% bus utilisation\n",
-			se.TotalNJ()/1e6, se.AveragePowerMW(seconds), su*100)
+		for i, t := range sys.Tiers() {
+			e := sys.TierEnergy(i, res.MaxCycles)
+			fmt.Printf("%-18s%.2f mJ (%.0f mW avg), %.1f%% bus utilisation\n",
+				t.Name()+" energy", e.TotalNJ()/1e6, e.AveragePowerMW(seconds),
+				t.Dev.BusyFraction(res.MaxCycles)*100)
+		}
 	}
 	fmt.Println("\nper-core results:")
 	for i, c := range res.Cores {
@@ -214,9 +225,9 @@ func run(rc runCfg) error {
 	return nil
 }
 
-func rowHitPct(hits, total uint64) float64 {
+func rowHitPct(hits, total float64) float64 {
 	if total == 0 {
 		return 0
 	}
-	return float64(hits) / float64(total) * 100
+	return hits / total * 100
 }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunThreeTierOverlay drives the CLI's run path with a memory_tiers
+// overlay: a stacked DRAM + off-chip DRAM + NVM machine under the
+// three-tier hwc policy must simulate and report without error.
+func TestRunThreeTierOverlay(t *testing.T) {
+	overlay := `{"memory_tiers": [
+		{"DRAM": {"Name": "stacked", "CapacityBytes": 2097152, "Channels": 2, "RanksPerChan": 2,
+			"BanksPerRank": 8, "BusFreqHz": 1.6e9, "BusWidthBits": 128, "RowBytes": 2048,
+			"TCAS": 11, "TRCD": 11, "TRP": 11, "TRAS": 28, "TRFCNanos": 138, "TREFINanos": 7800}},
+		{"DRAM": {"Name": "offchip", "CapacityBytes": 8388608, "Channels": 2, "RanksPerChan": 2,
+			"BanksPerRank": 8, "BusFreqHz": 0.8e9, "BusWidthBits": 64, "RowBytes": 2048,
+			"TCAS": 11, "TRCD": 11, "TRP": 11, "TRAS": 28, "TRFCNanos": 160, "TREFINanos": 7800}},
+		{"NVM": {"Name": "pmem", "CapacityBytes": 33554432, "ReadLatencyNanos": 300,
+			"WriteLatencyNanos": 1000, "ReadBandwidth": 8e9, "WriteBandwidth": 3e9}}
+	]}`
+	path := filepath.Join(t.TempDir(), "tiers.json")
+	if err := os.WriteFile(path, []byte(overlay), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(runCfg{
+		policyName: "hwc", wlName: "bwaves", scale: 1024,
+		instr: 20_000, warmup: 50_000, seed: 7,
+		configPath: path, energy: true, counters: true, threads: 1,
+	})
+	if err != nil {
+		t.Fatalf("three-tier CLI run: %v", err)
+	}
+
+	// The legacy Fast/Slow overlay keeps working through the same flag.
+	legacy := filepath.Join(t.TempDir(), "legacy.json")
+	if err := os.WriteFile(legacy, []byte(`{"Fast": {"CapacityBytes": 4194304}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(runCfg{
+		policyName: "chameleon-opt", wlName: "bwaves", scale: 1024,
+		instr: 10_000, warmup: 10_000, seed: 7, configPath: legacy, threads: 1,
+	})
+	if err != nil {
+		t.Fatalf("legacy overlay CLI run: %v", err)
+	}
+}

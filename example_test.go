@@ -67,7 +67,7 @@ func ExampleConfig_WithRatio() {
 			log.Fatal(err)
 		}
 		fmt.Printf("1:%d -> %d GB + %d GB\n", ratio,
-			c.Fast.CapacityBytes/chameleon.GB, c.Slow.CapacityBytes/chameleon.GB)
+			c.TierCapacity(0)/chameleon.GB, c.TierCapacity(1)/chameleon.GB)
 	}
 	// Output:
 	// 1:3 -> 6 GB + 18 GB

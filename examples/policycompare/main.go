@@ -36,6 +36,19 @@ func main() {
 	}
 	fmt.Println()
 
+	// So is the memory stack: designs run against whatever tiers the
+	// config declares, and a design that needs a deeper stack (hwc's
+	// hot/warm/cold tiering) gets an NVM tier appended.
+	fmt.Print("memory tiers:    ")
+	for i, tier := range cfg.MemoryTiers {
+		if i > 0 {
+			fmt.Print(" -> ")
+		}
+		fmt.Printf("%s (%s, %dMB)", tier.Name(), tier.ResolvedKind(),
+			tier.CapacityBytes()/chameleon.MB)
+	}
+	fmt.Println()
+
 	type entry struct {
 		name     string
 		policy   chameleon.Policy
@@ -60,8 +73,12 @@ func main() {
 	var base float64
 	fmt.Println("design                 IPC      norm    hit%    swaps   faults")
 	for _, e := range entries {
+		runCfg := cfg
+		for runCfg.NumTiers() < chameleon.PolicyRequiredTiers(string(e.policy)) {
+			runCfg = runCfg.WithNVMTier(32 * chameleon.GB / scale)
+		}
 		opts := chameleon.Options{
-			Config:             cfg,
+			Config:             runCfg,
 			Policy:             e.policy,
 			Workload:           prof,
 			Seed:               11,

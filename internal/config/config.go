@@ -137,15 +137,55 @@ type Config struct {
 	// L3Latency) still decode into this field; mixing legacy keys with
 	// CacheLevels in one document is an error.
 	CacheLevels []CacheLevelConfig
-	Fast        DRAMConfig // stacked DRAM
-	Slow        DRAMConfig // off-chip DRAM
+	// MemoryTiers is the ordered memory-tier stack, fastest first
+	// (canonical JSON key "memory_tiers"). The default is the paper's
+	// two DRAM tiers (stacked + off-chip); any length >= 2 and mix of
+	// dram/nvm/cxl kinds is valid. Legacy JSON documents using the
+	// fixed Fast/Slow DRAM keys still decode into this field (as an
+	// equivalent two-tier stack); mixing legacy keys with memory_tiers
+	// in one document is an error. A memory_tiers list in a document
+	// replaces the decode target's whole stack.
+	MemoryTiers []MemTierConfig `json:"memory_tiers"`
 	OS          OSConfig
 	MemSys      MemSysConfig
 
-	// Scale divides both DRAM capacities (and should be matched by a
-	// proportional reduction of workload footprints). Scale 1 is the
-	// paper's full-size system. Scale must be a power of two.
+	// Scale divides the memory-tier capacities (and should be matched
+	// by a proportional reduction of workload footprints). Scale 1 is
+	// the paper's full-size system. Scale must be a power of two.
 	Scale uint64
+}
+
+// NumTiers returns the number of configured memory tiers.
+func (c Config) NumTiers() int { return len(c.MemoryTiers) }
+
+// Tier returns tier i, or a zero value when out of range.
+func (c Config) Tier(i int) MemTierConfig {
+	if i < 0 || i >= len(c.MemoryTiers) {
+		return MemTierConfig{}
+	}
+	return c.MemoryTiers[i]
+}
+
+// TierCapacity returns tier i's capacity (0 when out of range).
+func (c Config) TierCapacity(i int) uint64 { return c.Tier(i).CapacityBytes() }
+
+// FastDRAM returns the first tier's DRAM parameters (a zero value when
+// the first tier is not DRAM-backed). It exists for the many two-tier
+// call sites that predate the tier list.
+func (c Config) FastDRAM() DRAMConfig {
+	if d := c.Tier(0).DRAM; d != nil {
+		return *d
+	}
+	return DRAMConfig{}
+}
+
+// SlowDRAM returns the second tier's DRAM parameters (a zero value when
+// the second tier is not DRAM-backed).
+func (c Config) SlowDRAM() DRAMConfig {
+	if d := c.Tier(1).DRAM; d != nil {
+		return *d
+	}
+	return DRAMConfig{}
 }
 
 // LLC returns the last (memory-side) cache level, or a zero value when
@@ -168,27 +208,40 @@ func (c Config) Level(name string) (CacheLevelConfig, bool) {
 }
 
 // UnmarshalJSON decodes a configuration, accepting both the canonical
-// CacheLevels schema and the legacy fixed three-level keys (L1/L2/L3
-// objects plus CPU.L1Latency/L2Latency/L3Latency). Legacy keys overlay
-// the decode target's existing three-level stack (or, when the target
-// has a different shape, the unscaled Table I defaults), mirroring the
-// ClearOnModeSwitch key migration. A document naming both CacheLevels
-// and any legacy key is rejected: the two schemas would silently
-// shadow each other.
+// schemas (CacheLevels, memory_tiers) and the legacy fixed keys: the
+// three-level L1/L2/L3 objects (plus CPU.L1Latency/L2Latency/L3Latency)
+// and the Fast/Slow DRAM pair. Legacy keys overlay the decode target's
+// existing stack (or, when the target has a different shape, the
+// unscaled Table I defaults), mirroring the ClearOnModeSwitch key
+// migration. A document mixing a canonical schema with its legacy keys
+// is rejected: the two would silently shadow each other.
 func (c *Config) UnmarshalJSON(b []byte) error {
-	type plain Config // plain drops the method, avoiding recursion
-	p := plain(*c)    // preserve target values: absent keys keep them
-	if err := json.Unmarshal(b, &p); err != nil {
-		return err
-	}
 	var keys struct {
 		CacheLevels *json.RawMessage
 		L1, L2, L3  *CacheConfig
 		CPU         *struct {
 			L1Latency, L2Latency, L3Latency *uint64
 		}
+		MemoryTiers *json.RawMessage `json:"memory_tiers"`
+		Fast, Slow  *json.RawMessage
 	}
 	if err := json.Unmarshal(b, &keys); err != nil {
+		return err
+	}
+	hasLegacyMem := keys.Fast != nil || keys.Slow != nil
+	if hasLegacyMem && keys.MemoryTiers != nil {
+		return errors.New("config: document mixes memory_tiers with legacy Fast/Slow keys; use one schema")
+	}
+	type plain Config // plain drops the method, avoiding recursion
+	p := plain(*c)    // preserve target values: absent keys keep them
+	if keys.MemoryTiers != nil {
+		// A memory_tiers list replaces the whole stack. Decoding onto
+		// the target's tiers would element-wise merge device sections
+		// (leaving, say, a default DRAM pointer inside a document's NVM
+		// tier), so the incoming list decodes fresh.
+		p.MemoryTiers = nil
+	}
+	if err := json.Unmarshal(b, &p); err != nil {
 		return err
 	}
 	hasLegacy := keys.L1 != nil || keys.L2 != nil || keys.L3 != nil
@@ -203,6 +256,28 @@ func (c *Config) UnmarshalJSON(b []byte) error {
 		return errors.New("config: document mixes CacheLevels with legacy L1/L2/L3 keys; use one schema")
 	}
 	*c = Config(p)
+	if hasLegacyMem {
+		// Overlay the legacy DRAM pair on a two-DRAM-tier base: the
+		// target's own stack when it already has that shape (so partial
+		// legacy documents merge like any other nested struct), else
+		// Table I.
+		base := c.MemoryTiers
+		if len(base) != 2 || base[0].DRAM == nil || base[1].DRAM == nil {
+			base = Default(1).MemoryTiers
+		}
+		tiers := CloneTiers(base[:2])
+		if keys.Fast != nil {
+			if err := json.Unmarshal(*keys.Fast, tiers[0].DRAM); err != nil {
+				return err
+			}
+		}
+		if keys.Slow != nil {
+			if err := json.Unmarshal(*keys.Slow, tiers[1].DRAM); err != nil {
+				return err
+			}
+		}
+		c.MemoryTiers = tiers
+	}
 	if !hasLegacy {
 		return nil
 	}
@@ -262,31 +337,33 @@ func Default(scale uint64) Config {
 			{Name: "L2", SizeBytes: l2, Ways: 8, LineBytes: 64, LatencyCycles: 12},
 			{Name: "L3", SizeBytes: l3, Ways: 16, LineBytes: 64, LatencyCycles: 38, Shared: true},
 		},
-		Fast: DRAMConfig{
-			Name:          "stacked",
-			CapacityBytes: 4 * GB / scale,
-			Channels:      2,
-			RanksPerChan:  2,
-			BanksPerRank:  8,
-			BusFreqHz:     1.6e9,
-			BusWidthBits:  128,
-			RowBytes:      2 * KB,
-			TCAS:          11, TRCD: 11, TRP: 11, TRAS: 28,
-			TRFCNanos:  138,
-			TREFINanos: 7800,
-		},
-		Slow: DRAMConfig{
-			Name:          "offchip",
-			CapacityBytes: 20 * GB / scale,
-			Channels:      2,
-			RanksPerChan:  2,
-			BanksPerRank:  8,
-			BusFreqHz:     0.8e9,
-			BusWidthBits:  64,
-			RowBytes:      8 * KB,
-			TCAS:          11, TRCD: 11, TRP: 11, TRAS: 28,
-			TRFCNanos:  530,
-			TREFINanos: 7800,
+		MemoryTiers: []MemTierConfig{
+			{Kind: TierDRAM, DRAM: &DRAMConfig{
+				Name:          "stacked",
+				CapacityBytes: 4 * GB / scale,
+				Channels:      2,
+				RanksPerChan:  2,
+				BanksPerRank:  8,
+				BusFreqHz:     1.6e9,
+				BusWidthBits:  128,
+				RowBytes:      2 * KB,
+				TCAS:          11, TRCD: 11, TRP: 11, TRAS: 28,
+				TRFCNanos:  138,
+				TREFINanos: 7800,
+			}},
+			{Kind: TierDRAM, DRAM: &DRAMConfig{
+				Name:          "offchip",
+				CapacityBytes: 20 * GB / scale,
+				Channels:      2,
+				RanksPerChan:  2,
+				BanksPerRank:  8,
+				BusFreqHz:     0.8e9,
+				BusWidthBits:  64,
+				RowBytes:      8 * KB,
+				TCAS:          11, TRCD: 11, TRP: 11, TRAS: 28,
+				TRFCNanos:  530,
+				TREFINanos: 7800,
+			}},
 		},
 		OS: OSConfig{
 			PageBytes:       4 * KB,
@@ -305,36 +382,47 @@ func Default(scale uint64) Config {
 	return c
 }
 
-// WithRatio returns a copy of c with the stacked:off-chip capacity ratio
-// set to 1:ratio while keeping the total capacity constant, mirroring the
-// paper's sensitivity study (1:3 = 6+18 GB, 1:5 = 4+20 GB, 1:7 = 3+21 GB).
+// WithRatio returns a copy of c with the first:second tier capacity
+// ratio set to 1:ratio while keeping their combined capacity constant,
+// mirroring the paper's sensitivity study (1:3 = 6+18 GB, 1:5 = 4+20 GB,
+// 1:7 = 3+21 GB). Deeper tiers are untouched.
 func (c Config) WithRatio(ratio int) (Config, error) {
 	if ratio < 1 {
 		return c, fmt.Errorf("config: ratio must be >= 1, got %d", ratio)
 	}
-	total := c.Fast.CapacityBytes + c.Slow.CapacityBytes
+	if len(c.MemoryTiers) < 2 {
+		return c, fmt.Errorf("config: ratio requires at least two memory tiers, got %d", len(c.MemoryTiers))
+	}
+	total := c.TierCapacity(0) + c.TierCapacity(1)
 	fast := total / uint64(ratio+1)
 	// Round down to a segment-group friendly boundary.
 	seg := uint64(c.MemSys.SegmentBytes)
 	fast -= fast % seg
-	c.Fast.CapacityBytes = fast
-	c.Slow.CapacityBytes = total - fast
+	tiers := CloneTiers(c.MemoryTiers)
+	tiers[0].SetCapacity(fast)
+	tiers[1].SetCapacity(total - fast)
+	c.MemoryTiers = tiers
 	return c, nil
 }
 
-// TotalCapacity returns the OS-visible capacity when both devices are
-// exposed as part of memory.
+// TotalCapacity returns the summed capacity of every memory tier — the
+// OS-visible capacity when the whole stack is exposed as memory.
 func (c Config) TotalCapacity() uint64 {
-	return c.Fast.CapacityBytes + c.Slow.CapacityBytes
+	var total uint64
+	for _, t := range c.MemoryTiers {
+		total += t.CapacityBytes()
+	}
+	return total
 }
 
-// Ratio returns the off-chip:stacked capacity ratio rounded to the
+// Ratio returns the second:first tier capacity ratio rounded to the
 // nearest integer (5 for the default 4+20 GB system).
 func (c Config) Ratio() int {
-	if c.Fast.CapacityBytes == 0 {
+	fast, slow := c.TierCapacity(0), c.TierCapacity(1)
+	if fast == 0 {
 		return 0
 	}
-	return int((c.Slow.CapacityBytes + c.Fast.CapacityBytes/2) / c.Fast.CapacityBytes)
+	return int((slow + fast/2) / fast)
 }
 
 // Validate reports configuration errors.
@@ -381,15 +469,19 @@ func (c Config) Validate() error {
 		}
 		prevLat = lv.LatencyCycles
 	}
-	for _, d := range []DRAMConfig{c.Fast, c.Slow} {
-		if d.CapacityBytes == 0 {
-			errs = append(errs, fmt.Errorf("config: %s DRAM capacity must be positive", d.Name))
+	if len(c.MemoryTiers) < 2 {
+		errs = append(errs, fmt.Errorf("config: at least two memory tiers are required, got %d", len(c.MemoryTiers)))
+	}
+	tierNames := make(map[string]bool, len(c.MemoryTiers))
+	for i, t := range c.MemoryTiers {
+		if err := t.validate(i); err != nil {
+			errs = append(errs, err)
+			continue
 		}
-		if d.Channels <= 0 || d.BanksPerRank <= 0 || d.RanksPerChan <= 0 {
-			errs = append(errs, fmt.Errorf("config: %s DRAM geometry must be positive", d.Name))
-		}
-		if d.BusFreqHz <= 0 || d.BusWidthBits <= 0 {
-			errs = append(errs, fmt.Errorf("config: %s DRAM bus parameters must be positive", d.Name))
+		if name := t.Name(); tierNames[name] {
+			errs = append(errs, fmt.Errorf("config: duplicate memory tier name %q", name))
+		} else {
+			tierNames[name] = true
 		}
 	}
 	seg := c.MemSys.SegmentBytes
@@ -399,11 +491,14 @@ func (c Config) Validate() error {
 	if c.MemSys.CacheLineBytes <= 0 || seg%max(c.MemSys.CacheLineBytes, 1) != 0 {
 		errs = append(errs, errors.New("config: segment size must be a multiple of the cache-line size"))
 	}
-	if seg > 0 && c.Fast.CapacityBytes%uint64(seg) != 0 {
-		errs = append(errs, errors.New("config: stacked capacity must be a multiple of the segment size"))
-	}
-	if seg > 0 && c.Slow.CapacityBytes%uint64(seg) != 0 {
-		errs = append(errs, errors.New("config: off-chip capacity must be a multiple of the segment size"))
+	if seg > 0 {
+		// Placement works in whole segments, so every tier must hold an
+		// integral number of them.
+		for _, t := range c.MemoryTiers {
+			if cap := t.CapacityBytes(); cap > 0 && cap%uint64(seg) != 0 {
+				errs = append(errs, fmt.Errorf("config: %s capacity must be a multiple of the segment size", t.Name()))
+			}
+		}
 	}
 	if c.OS.PageBytes <= 0 || c.OS.PageBytes&(c.OS.PageBytes-1) != 0 {
 		errs = append(errs, errors.New("config: page size must be a positive power of two"))

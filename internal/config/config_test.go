@@ -22,11 +22,11 @@ func TestDefaultTableI(t *testing.T) {
 	if c.CPU.FreqHz != 3.6e9 {
 		t.Errorf("freq = %v, want 3.6 GHz", c.CPU.FreqHz)
 	}
-	if c.Fast.CapacityBytes != 4*GB {
-		t.Errorf("stacked capacity = %d, want 4 GB", c.Fast.CapacityBytes)
+	if c.TierCapacity(0) != 4*GB {
+		t.Errorf("stacked capacity = %d, want 4 GB", c.TierCapacity(0))
 	}
-	if c.Slow.CapacityBytes != 20*GB {
-		t.Errorf("off-chip capacity = %d, want 20 GB", c.Slow.CapacityBytes)
+	if c.TierCapacity(1) != 20*GB {
+		t.Errorf("off-chip capacity = %d, want 20 GB", c.TierCapacity(1))
 	}
 	if c.OS.PageFaultCycles != 100_000 {
 		t.Errorf("page-fault latency = %d, want 100K", c.OS.PageFaultCycles)
@@ -35,7 +35,7 @@ func TestDefaultTableI(t *testing.T) {
 		t.Errorf("segment = %d, want 2 KB", c.MemSys.SegmentBytes)
 	}
 	// Bandwidth ratio: 128-bit @1.6 GHz vs 64-bit @0.8 GHz => 4x.
-	ratio := c.Fast.PeakBandwidth() / c.Slow.PeakBandwidth()
+	ratio := c.FastDRAM().PeakBandwidth() / c.SlowDRAM().PeakBandwidth()
 	if ratio < 3.99 || ratio > 4.01 {
 		t.Errorf("bandwidth ratio = %v, want 4", ratio)
 	}
@@ -44,10 +44,10 @@ func TestDefaultTableI(t *testing.T) {
 func TestScalePreservesRatios(t *testing.T) {
 	base := Default(1)
 	scaled := Default(64)
-	if scaled.Fast.CapacityBytes*64 != base.Fast.CapacityBytes {
+	if scaled.TierCapacity(0)*64 != base.TierCapacity(0) {
 		t.Errorf("fast capacity not scaled by 64")
 	}
-	if scaled.Slow.CapacityBytes*64 != base.Slow.CapacityBytes {
+	if scaled.TierCapacity(1)*64 != base.TierCapacity(1) {
 		t.Errorf("slow capacity not scaled by 64")
 	}
 	if base.Ratio() != scaled.Ratio() {
@@ -109,13 +109,19 @@ func TestValidateCatchesErrors(t *testing.T) {
 		{"line not power of two", func(c *Config) { c.CacheLevels[0].LineBytes = 48 }},
 		{"cache under one set", func(c *Config) { c.CacheLevels[0].SizeBytes = 64 }},
 		{"decreasing latency", func(c *Config) { c.CacheLevels[2].LatencyCycles = 1 }},
-		{"no fast capacity", func(c *Config) { c.Fast.CapacityBytes = 0 }},
-		{"no channels", func(c *Config) { c.Slow.Channels = 0 }},
+		{"no fast capacity", func(c *Config) { c.MemoryTiers[0].DRAM.CapacityBytes = 0 }},
+		{"no channels", func(c *Config) { c.MemoryTiers[1].DRAM.Channels = 0 }},
+		{"one tier only", func(c *Config) { c.MemoryTiers = c.MemoryTiers[:1] }},
+		{"duplicate tier names", func(c *Config) { c.MemoryTiers[1].DRAM.Name = c.MemoryTiers[0].DRAM.Name }},
+		{"unknown tier kind", func(c *Config) { c.MemoryTiers[0].Kind = "sram" }},
+		{"zero NVM capacity", func(c *Config) {
+			c.MemoryTiers = append(c.MemoryTiers, MemTierConfig{NVM: &NVMConfig{Name: "pmem"}})
+		}},
 		{"bad segment", func(c *Config) { c.MemSys.SegmentBytes = 1000 }},
 		{"segment under line", func(c *Config) { c.MemSys.CacheLineBytes = 0 }},
 		{"bad page", func(c *Config) { c.OS.PageBytes = 3000 }},
 		{"huge page misaligned", func(c *Config) { c.OS.HugePageBytes = 5000 }},
-		{"capacity not segment multiple", func(c *Config) { c.Fast.CapacityBytes += 1 }},
+		{"capacity not segment multiple", func(c *Config) { c.MemoryTiers[0].DRAM.CapacityBytes += 1 }},
 	}
 	for _, m := range mutations {
 		c := Default(8)

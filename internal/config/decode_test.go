@@ -86,21 +86,24 @@ func TestCacheLevelsDecode(t *testing.T) {
 	}
 }
 
-// FuzzConfigDecode generates a legacy document and its CacheLevels
-// rewrite from one parameter tuple and requires both to decode to the
-// same hierarchy (or both to keep failing validation identically), and
-// the mixed document to error.
+// FuzzConfigDecode generates a legacy document (fixed cache levels plus
+// the Fast/Slow DRAM pair) and its canonical rewrite from one parameter
+// tuple and requires both to decode to the same machine (or both to
+// keep failing validation identically), and the mixed documents to
+// error.
 func FuzzConfigDecode(f *testing.F) {
-	f.Add(32*KB, 4, 64, uint64(4), 256*KB, 8, uint64(12), 12*MB, 16, uint64(38))
-	f.Add(16*KB, 2, 32, uint64(2), 128*KB, 4, uint64(20), 4*MB, 8, uint64(44))
-	f.Add(1, 0, 0, uint64(0), 0, -3, uint64(9), 64, 1, uint64(1))
-	f.Fuzz(func(t *testing.T, s1, w1, line int, lat1 uint64, s2, w2 int, lat2 uint64, s3, w3 int, lat3 uint64) {
+	f.Add(32*KB, 4, 64, uint64(4), 256*KB, 8, uint64(12), 12*MB, 16, uint64(38), uint64(4*GB), uint64(20*GB))
+	f.Add(16*KB, 2, 32, uint64(2), 128*KB, 4, uint64(20), 4*MB, 8, uint64(44), uint64(16*MB), uint64(80*MB))
+	f.Add(1, 0, 0, uint64(0), 0, -3, uint64(9), 64, 1, uint64(1), uint64(0), uint64(1))
+	f.Fuzz(func(t *testing.T, s1, w1, line int, lat1 uint64, s2, w2 int, lat2 uint64, s3, w3 int, lat3 uint64, fastCap, slowCap uint64) {
 		legacy := fmt.Sprintf(`{
 			"L1": {"SizeBytes": %d, "Ways": %d, "LineBytes": %d},
 			"L2": {"SizeBytes": %d, "Ways": %d, "LineBytes": %d},
 			"L3": {"SizeBytes": %d, "Ways": %d, "LineBytes": %d},
-			"CPU": {"L1Latency": %d, "L2Latency": %d, "L3Latency": %d}
-		}`, s1, w1, line, s2, w2, line, s3, w3, line, lat1, lat2, lat3)
+			"CPU": {"L1Latency": %d, "L2Latency": %d, "L3Latency": %d},
+			"Fast": {"CapacityBytes": %d},
+			"Slow": {"CapacityBytes": %d}
+		}`, s1, w1, line, s2, w2, line, s3, w3, line, lat1, lat2, lat3, fastCap, slowCap)
 		modern := fmt.Sprintf(`{"CacheLevels": [
 			{"Name": "L1", "SizeBytes": %d, "Ways": %d, "LineBytes": %d, "LatencyCycles": %d},
 			{"Name": "L2", "SizeBytes": %d, "Ways": %d, "LineBytes": %d, "LatencyCycles": %d},
@@ -116,20 +119,41 @@ func FuzzConfigDecode(f *testing.F) {
 		if oldErr != nil {
 			return
 		}
+		// The modern document carries the capacities through the
+		// canonical schema instead.
+		newC.MemoryTiers[0].SetCapacity(fastCap)
+		newC.MemoryTiers[1].SetCapacity(slowCap)
 		// The legacy base stack is shared (L3); the rewrite says so
-		// explicitly, so the hierarchies must now match field for field.
-		if !reflect.DeepEqual(oldC.CacheLevels, newC.CacheLevels) {
-			t.Fatalf("hierarchies diverged:\nlegacy: %+v\nmodern: %+v", oldC.CacheLevels, newC.CacheLevels)
+		// explicitly, so the machines must now match field for field.
+		if !reflect.DeepEqual(oldC, newC) {
+			t.Fatalf("configs diverged:\nlegacy: %+v\nmodern: %+v", oldC, newC)
 		}
 		// Validation must agree too: the same machine is legal or not
 		// regardless of which schema described it.
 		if (oldC.Validate() == nil) != (newC.Validate() == nil) {
 			t.Fatalf("validation disagreement: legacy %v, modern %v", oldC.Validate(), newC.Validate())
 		}
-		// And the mixed document always errors.
+		// Marshal speaks only the canonical schema, and the marshal
+		// round-trips: the memory_tiers rewrite of the legacy document
+		// reconstructs the identical machine.
+		b, err := json.Marshal(oldC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rt Config
+		if err := json.Unmarshal(b, &rt); err != nil {
+			t.Fatalf("round-trip decode: %v", err)
+		}
+		if !reflect.DeepEqual(oldC, rt) {
+			t.Fatalf("memory_tiers round trip diverged:\nwant: %+v\ngot:  %+v", oldC, rt)
+		}
+		// And the mixed documents always error.
 		var c Config
 		if err := json.Unmarshal([]byte(`{"CacheLevels": [], `+legacy[1:]), &c); err == nil {
-			t.Fatal("mixed schemas decoded without error")
+			t.Fatal("mixed cache schemas decoded without error")
+		}
+		if err := json.Unmarshal([]byte(`{"memory_tiers": [], `+legacy[1:]), &c); err == nil {
+			t.Fatal("mixed memory schemas decoded without error")
 		}
 	})
 }

@@ -1,5 +1,7 @@
 package dram
 
+import "chameleon/internal/config"
+
 // The energy model is a simplified DRAMPower-style accounting: each
 // command class (activate+precharge pair, column read, column write,
 // refresh) carries a fixed energy, and background power accrues with
@@ -8,38 +10,18 @@ package dram
 // energy as well as performance.
 
 // PowerConfig holds per-operation energies (picojoules) and background
-// power (milliwatts) for one device.
-type PowerConfig struct {
-	ActPrePJ       float64 // one activate+precharge pair
-	ReadPJPerByte  float64
-	WritePJPerByte float64
-	RefreshPJ      float64 // one rank refresh (tRFC worth of work)
-	BackgroundMW   float64 // standby power for the whole device
-}
+// power (milliwatts) for one device. Power profiles now live with the
+// tier configuration so non-DRAM devices share the same accounting; the
+// alias keeps this package's historical API intact.
+type PowerConfig = config.PowerConfig
 
 // DefaultStackedPower approximates an HBM-class stack: lower per-bit
 // I/O energy (short TSV paths), higher background power (more banks).
-func DefaultStackedPower() PowerConfig {
-	return PowerConfig{
-		ActPrePJ:       900,
-		ReadPJPerByte:  4,
-		WritePJPerByte: 4.5,
-		RefreshPJ:      28_000,
-		BackgroundMW:   350,
-	}
-}
+func DefaultStackedPower() PowerConfig { return config.DefaultStackedPower() }
 
 // DefaultOffChipPower approximates a DDR3 DIMM: higher per-bit I/O
 // energy (board traces), lower background power.
-func DefaultOffChipPower() PowerConfig {
-	return PowerConfig{
-		ActPrePJ:       1_600,
-		ReadPJPerByte:  12,
-		WritePJPerByte: 13,
-		RefreshPJ:      120_000,
-		BackgroundMW:   180,
-	}
-}
+func DefaultOffChipPower() PowerConfig { return config.DefaultOffChipPower() }
 
 // EnergyReport breaks device energy into components (all nanojoules).
 type EnergyReport struct {

@@ -46,6 +46,11 @@ type Options struct {
 	// levels from the resulting config, so a 2- or 4-level sweep needs
 	// no further plumbing.
 	CacheLevels []config.CacheLevelConfig
+	// MemoryTiers overrides the machine's memory stack (nil = the
+	// scaled Table I stacked + off-chip DRAM pair). Three-tier
+	// sweeps — say stacked DRAM, off-chip DRAM, NVM — plug in here
+	// and flow through every driver unchanged.
+	MemoryTiers []config.MemTierConfig
 	// Parallelism bounds concurrent simulations. Zero and negative
 	// values default to GOMAXPROCS (a negative value would otherwise
 	// panic constructing the semaphore channel).
@@ -93,6 +98,9 @@ func (o Options) Config() config.Config {
 	cfg := config.Default(o.Scale)
 	if len(o.CacheLevels) > 0 {
 		cfg.CacheLevels = o.CacheLevels
+	}
+	if len(o.MemoryTiers) > 0 {
+		cfg.MemoryTiers = config.CloneTiers(o.MemoryTiers)
 	}
 	return cfg
 }

@@ -203,7 +203,7 @@ func TestOverheadMatchesPaper(t *testing.T) {
 
 func TestTable1Renders(t *testing.T) {
 	s := Table1(tiny()).String()
-	for _, want := range []string{"Cores", "Stacked DRAM", "Page-fault"} {
+	for _, want := range []string{"Cores", "Tier 0 (stacked)", "Tier 1 (offchip)", "Page-fault"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("table 1 missing %q:\n%s", want, s)
 		}

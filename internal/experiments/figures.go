@@ -383,10 +383,24 @@ func Table1(o Options) *stats.Table {
 		t.AddRow(lv.Name, fmt.Sprintf("%d KB, %d-way, %d B lines, %d cycles, %s",
 			lv.SizeBytes/config.KB, lv.Ways, lv.LineBytes, lv.LatencyCycles, share))
 	}
-	t.AddRow("Stacked DRAM", fmt.Sprintf("%d MB, %d ch, %d-bit @ %.1f GHz (%.1f GB/s)",
-		c.Fast.CapacityBytes/config.MB, c.Fast.Channels, c.Fast.BusWidthBits, c.Fast.BusFreqHz/1e9, c.Fast.PeakBandwidth()/1e9))
-	t.AddRow("Off-chip DRAM", fmt.Sprintf("%d MB, %d ch, %d-bit @ %.1f GHz (%.1f GB/s)",
-		c.Slow.CapacityBytes/config.MB, c.Slow.Channels, c.Slow.BusWidthBits, c.Slow.BusFreqHz/1e9, c.Slow.PeakBandwidth()/1e9))
+	for i, tier := range c.MemoryTiers {
+		label := fmt.Sprintf("Tier %d (%s)", i, tier.Name())
+		switch tier.ResolvedKind() {
+		case config.TierNVM:
+			n := tier.NVM
+			t.AddRow(label, fmt.Sprintf("%d MB NVM, %.0f/%.0f ns R/W, %.1f/%.1f GB/s R/W",
+				n.CapacityBytes/config.MB, n.ReadLatencyNanos, n.WriteLatencyNanos,
+				n.ReadBandwidth/1e9, n.WriteBandwidth/1e9))
+		case config.TierCXL:
+			x := tier.CXL
+			t.AddRow(label, fmt.Sprintf("%d MB CXL, %.0f ns link, %.1f GB/s",
+				x.CapacityBytes/config.MB, x.LinkLatencyNanos, x.LinkBandwidth/1e9))
+		default:
+			d := tier.DRAM
+			t.AddRow(label, fmt.Sprintf("%d MB, %d ch, %d-bit @ %.1f GHz (%.1f GB/s)",
+				d.CapacityBytes/config.MB, d.Channels, d.BusWidthBits, d.BusFreqHz/1e9, d.PeakBandwidth()/1e9))
+		}
+	}
 	t.AddRow("Page-fault latency", fmt.Sprintf("%d cycles (SSD)", c.OS.PageFaultCycles))
 	t.AddRow("Segment", fmt.Sprintf("%d B, swap threshold %d", c.MemSys.SegmentBytes, c.MemSys.SwapThreshold))
 	t.AddRow("Scale divisor", fmt.Sprintf("%d", o.Scale))

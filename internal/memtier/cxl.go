@@ -1,0 +1,161 @@
+package memtier
+
+import (
+	"fmt"
+	"math"
+
+	"chameleon/internal/config"
+	"chameleon/internal/stats"
+)
+
+// CXLStats aggregates CXL expander activity.
+type CXLStats struct {
+	Reads      uint64
+	Writes     uint64
+	BytesMoved uint64
+	LinkWaits  uint64 // accesses that queued behind the serial link
+}
+
+// Snapshot flattens the stats into the unified metric shape.
+func (s CXLStats) Snapshot() stats.Snapshot {
+	return stats.Snapshot{
+		"reads":       float64(s.Reads),
+		"writes":      float64(s.Writes),
+		"bytes_moved": float64(s.BytesMoved),
+		"link_waits":  float64(s.LinkWaits),
+	}
+}
+
+// CXL models a CXL-attached memory expander following the METICULOUS
+// emulation parameters (arXiv 2309.06565): DRAM-class media reached
+// across a serial link that adds a fixed round-trip latency and
+// serialises transfers at the link bandwidth. Queuing happens at the
+// link — a single next-free-time cursor — which is exactly the
+// first-order bottleneck of real expanders.
+//
+// All externally visible times are in CPU cycles.
+type CXL struct {
+	cfg   config.CXLConfig
+	cpuHz float64
+
+	tLink    uint64  // link round-trip latency (cycles)
+	tMedia   uint64  // device-side media latency (cycles)
+	perByte  float64 // link cycles per byte
+	linkFree uint64  // link next-free cycle
+	stats    CXLStats
+}
+
+// mediaTREFISeconds is the refresh interval assumed for the expander's
+// DRAM media when charging refresh energy (standard 7.8 µs tREFI).
+const mediaTREFISeconds = 7.8e-6
+
+// NewCXL builds a CXL far-memory device.
+func NewCXL(cfg config.CXLConfig, cpuHz float64) (*CXL, error) {
+	if cfg.CapacityBytes == 0 {
+		return nil, fmt.Errorf("cxl %s: capacity must be positive", cfg.Name)
+	}
+	if cfg.LinkLatencyNanos <= 0 || cfg.LinkBandwidth <= 0 || cpuHz <= 0 {
+		return nil, fmt.Errorf("cxl %s: link parameters and CPU frequency must be positive", cfg.Name)
+	}
+	if cfg.MediaLatencyNanos < 0 {
+		return nil, fmt.Errorf("cxl %s: media latency must be non-negative", cfg.Name)
+	}
+	return &CXL{
+		cfg:     cfg,
+		cpuHz:   cpuHz,
+		tLink:   uint64(math.Ceil(cfg.LinkLatencyNanos * 1e-9 * cpuHz)),
+		tMedia:  uint64(math.Ceil(cfg.MediaLatencyNanos * 1e-9 * cpuHz)),
+		perByte: cpuHz / cfg.LinkBandwidth,
+	}, nil
+}
+
+// Name returns the configured device name.
+func (d *CXL) Name() string { return d.cfg.Name }
+
+// Capacity returns the device capacity in bytes.
+func (d *CXL) Capacity() uint64 { return d.cfg.CapacityBytes }
+
+// Stats returns the accumulated counters.
+func (d *CXL) Stats() CXLStats { return d.stats }
+
+// Snapshot flattens the device counters into the unified metric shape.
+func (d *CXL) Snapshot() stats.Snapshot { return d.stats.Snapshot() }
+
+// ResetStats clears the counters (end of warm-up).
+func (d *CXL) ResetStats() { d.stats = CXLStats{} }
+
+// Access performs one transfer across the link, returning its
+// completion cycle: queue behind the link, serialise the payload, then
+// pay the round trip and the media access.
+func (d *CXL) Access(now uint64, local uint64, write bool, bytes int) uint64 {
+	start := now
+	if d.linkFree > start {
+		start = d.linkFree
+		d.stats.LinkWaits++
+	}
+	burst := uint64(math.Ceil(float64(bytes) * d.perByte))
+	d.linkFree = start + burst
+	if write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	d.stats.BytesMoved += uint64(bytes)
+	return start + burst + d.tLink + d.tMedia
+}
+
+// Stream transfers a contiguous region as line-sized accesses.
+func (d *CXL) Stream(now uint64, local uint64, write bool, bytes, lineBytes int) (done uint64) {
+	if lineBytes <= 0 {
+		lineBytes = 64
+	}
+	done = now
+	for off := 0; off < bytes; off += lineBytes {
+		n := min(lineBytes, bytes-off)
+		if end := d.Access(now, local+uint64(off), write, n); end > done {
+			done = end
+		}
+	}
+	return done
+}
+
+// PeakBandwidth returns the per-direction link ceiling.
+func (d *CXL) PeakBandwidth() float64 { return d.cfg.LinkBandwidth }
+
+// BusyFraction returns the fraction of the elapsed time the link was
+// serialising data.
+func (d *CXL) BusyFraction(elapsedCycles uint64) float64 {
+	if elapsedCycles == 0 {
+		return 0
+	}
+	return float64(d.stats.BytesMoved) * d.perByte / float64(elapsedCycles)
+}
+
+// QueueDelay returns how far beyond now the link is already reserved.
+func (d *CXL) QueueDelay(now uint64) uint64 {
+	if d.linkFree > now {
+		return d.linkFree - now
+	}
+	return 0
+}
+
+// Energy computes the expander's energy over the elapsed window.
+// ActPrePJ is charged per access (media activate), refresh per assumed
+// tREFI interval of the DRAM media, and the link PHY dominates the
+// background term.
+func (d *CXL) Energy(cfg config.PowerConfig, elapsedCycles uint64) EnergyReport {
+	seconds := float64(elapsedCycles) / d.cpuHz
+	readBytes, writeBytes := 0.0, 0.0
+	if total := d.stats.Reads + d.stats.Writes; total > 0 {
+		avg := float64(d.stats.BytesMoved) / float64(total)
+		readBytes = float64(d.stats.Reads) * avg
+		writeBytes = float64(d.stats.Writes) * avg
+	}
+	return EnergyReport{
+		ActivateNJ:   float64(d.stats.Reads+d.stats.Writes) * cfg.ActPrePJ / 1e3,
+		ReadNJ:       readBytes * cfg.ReadPJPerByte / 1e3,
+		WriteNJ:      writeBytes * cfg.WritePJPerByte / 1e3,
+		RefreshNJ:    seconds / mediaTREFISeconds * cfg.RefreshPJ / 1e3,
+		BackgroundNJ: cfg.BackgroundMW * seconds * 1e6,
+	}
+}

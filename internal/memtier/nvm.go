@@ -1,0 +1,235 @@
+package memtier
+
+import (
+	"fmt"
+	"math"
+
+	"chameleon/internal/config"
+	"chameleon/internal/stats"
+)
+
+// NVMStats aggregates NVM device activity, including the endurance
+// counters the wear model maintains.
+type NVMStats struct {
+	Reads      uint64
+	Writes     uint64
+	ReadBytes  uint64
+	WriteBytes uint64
+	BankWaits  uint64 // accesses delayed behind a busy bank
+	BusWaits   uint64 // accesses delayed by channel contention
+	WearWrites uint64 // writes charged against a wear block
+	MaxWear    uint64 // highest per-block write count seen
+	WornBlocks uint64 // blocks past their endurance budget
+}
+
+// Snapshot flattens the stats into the unified metric shape.
+func (s NVMStats) Snapshot() stats.Snapshot {
+	return stats.Snapshot{
+		"reads":       float64(s.Reads),
+		"writes":      float64(s.Writes),
+		"read_bytes":  float64(s.ReadBytes),
+		"write_bytes": float64(s.WriteBytes),
+		"bytes_moved": float64(s.ReadBytes + s.WriteBytes),
+		"bank_waits":  float64(s.BankWaits),
+		"bus_waits":   float64(s.BusWaits),
+		"wear_writes": float64(s.WearWrites),
+		"max_wear":    float64(s.MaxWear),
+		"worn_blocks": float64(s.WornBlocks),
+	}
+}
+
+// NVM models a byte-addressable non-volatile memory device in the style
+// of the NUMA hybrid-memory emulators (arXiv 1808.00064): a fixed media
+// latency per access — asymmetric between reads and writes — plus
+// separate sustained read/write bandwidth ceilings enforced by a shared
+// channel cursor, and per-block write-endurance accounting. Like the
+// DRAM model it is next-free-time bookkeeping, not a command scheduler.
+//
+// All externally visible times are in CPU cycles.
+type NVM struct {
+	cfg   config.NVMConfig
+	cpuHz float64
+
+	tRead     uint64  // media read latency (cycles)
+	tWrite    uint64  // media write latency (cycles)
+	readPerB  float64 // channel cycles per byte read
+	writePerB float64 // channel cycles per byte written
+	wearShift uint    // log2(WearBlockBytes)
+	endurance uint64
+	bankReady []uint64 // per-bank next-free cycle
+	chanFree  uint64   // shared channel next-free cycle
+	wear      []uint32 // per-block lifetime write counts (survive ResetStats)
+	stats     NVMStats
+}
+
+// NewNVM builds an NVM device. Zero Banks, WearBlockBytes and
+// EnduranceWrites take the DefaultNVM values.
+func NewNVM(cfg config.NVMConfig, cpuHz float64) (*NVM, error) {
+	if cfg.CapacityBytes == 0 {
+		return nil, fmt.Errorf("nvm %s: capacity must be positive", cfg.Name)
+	}
+	if cfg.ReadLatencyNanos <= 0 || cfg.WriteLatencyNanos <= 0 ||
+		cfg.ReadBandwidth <= 0 || cfg.WriteBandwidth <= 0 || cpuHz <= 0 {
+		return nil, fmt.Errorf("nvm %s: latency, bandwidth and CPU frequency must be positive", cfg.Name)
+	}
+	if cfg.Banks <= 0 {
+		cfg.Banks = 16
+	}
+	if cfg.WearBlockBytes <= 0 {
+		cfg.WearBlockBytes = 4 * config.KB
+	}
+	if cfg.WearBlockBytes&(cfg.WearBlockBytes-1) != 0 {
+		return nil, fmt.Errorf("nvm %s: wear block size must be a power of two", cfg.Name)
+	}
+	if cfg.EnduranceWrites == 0 {
+		cfg.EnduranceWrites = 100_000_000
+	}
+	blocks := (cfg.CapacityBytes + uint64(cfg.WearBlockBytes) - 1) / uint64(cfg.WearBlockBytes)
+	return &NVM{
+		cfg:       cfg,
+		cpuHz:     cpuHz,
+		tRead:     uint64(math.Ceil(cfg.ReadLatencyNanos * 1e-9 * cpuHz)),
+		tWrite:    uint64(math.Ceil(cfg.WriteLatencyNanos * 1e-9 * cpuHz)),
+		readPerB:  cpuHz / cfg.ReadBandwidth,
+		writePerB: cpuHz / cfg.WriteBandwidth,
+		wearShift: uint(math.Log2(float64(cfg.WearBlockBytes))),
+		endurance: cfg.EnduranceWrites,
+		bankReady: make([]uint64, cfg.Banks),
+		wear:      make([]uint32, blocks),
+	}, nil
+}
+
+// Name returns the configured device name.
+func (d *NVM) Name() string { return d.cfg.Name }
+
+// Capacity returns the device capacity in bytes.
+func (d *NVM) Capacity() uint64 { return d.cfg.CapacityBytes }
+
+// Stats returns the accumulated counters.
+func (d *NVM) Stats() NVMStats { return d.stats }
+
+// Snapshot flattens the device counters into the unified metric shape.
+func (d *NVM) Snapshot() stats.Snapshot { return d.stats.Snapshot() }
+
+// ResetStats clears the activity counters (end of warm-up) but keeps
+// the endurance state: wear is physical damage, not a statistic, so the
+// wear counters carry across the reset.
+func (d *NVM) ResetStats() {
+	wearWrites, maxWear, worn := d.stats.WearWrites, d.stats.MaxWear, d.stats.WornBlocks
+	d.stats = NVMStats{WearWrites: wearWrites, MaxWear: maxWear, WornBlocks: worn}
+}
+
+// Access performs one transfer of bytes at device-local address local,
+// returning its completion cycle.
+func (d *NVM) Access(now uint64, local uint64, write bool, bytes int) uint64 {
+	bank := int((local >> 6) % uint64(len(d.bankReady)))
+	start := now
+	if r := d.bankReady[bank]; r > start {
+		start = r
+		d.stats.BankWaits++
+	}
+	var lat, burst uint64
+	if write {
+		lat = d.tWrite
+		burst = uint64(math.Ceil(float64(bytes) * d.writePerB))
+		d.stats.Writes++
+		d.stats.WriteBytes += uint64(bytes)
+		d.recordWear(local, bytes)
+	} else {
+		lat = d.tRead
+		burst = uint64(math.Ceil(float64(bytes) * d.readPerB))
+		d.stats.Reads++
+		d.stats.ReadBytes += uint64(bytes)
+	}
+	// The media access completes at start+lat; the result then needs the
+	// shared channel for burst cycles.
+	busStart := start + lat
+	if d.chanFree > busStart {
+		busStart = d.chanFree
+		d.stats.BusWaits++
+	}
+	done := busStart + burst
+	d.chanFree = done
+	d.bankReady[bank] = done
+	return done
+}
+
+// recordWear charges a write against every wear block it touches.
+func (d *NVM) recordWear(local uint64, bytes int) {
+	first := local >> d.wearShift
+	last := (local + uint64(max(bytes, 1)) - 1) >> d.wearShift
+	for b := first; b <= last && b < uint64(len(d.wear)); b++ {
+		d.wear[b]++
+		d.stats.WearWrites++
+		if w := uint64(d.wear[b]); w > d.stats.MaxWear {
+			d.stats.MaxWear = w
+		}
+		if uint64(d.wear[b]) == d.endurance {
+			d.stats.WornBlocks++
+		}
+	}
+}
+
+// Stream transfers a contiguous region as line-sized accesses, exactly
+// like demand accesses consume bank and channel bandwidth.
+func (d *NVM) Stream(now uint64, local uint64, write bool, bytes, lineBytes int) (done uint64) {
+	if lineBytes <= 0 {
+		lineBytes = 64
+	}
+	done = now
+	for off := 0; off < bytes; off += lineBytes {
+		n := min(lineBytes, bytes-off)
+		if end := d.Access(now, local+uint64(off), write, n); end > done {
+			done = end
+		}
+	}
+	return done
+}
+
+// PeakBandwidth returns the larger of the sustained read and write
+// ceilings (the device's best case).
+func (d *NVM) PeakBandwidth() float64 {
+	return math.Max(d.cfg.ReadBandwidth, d.cfg.WriteBandwidth)
+}
+
+// BusyFraction returns the fraction of the elapsed time the channel was
+// transferring, weighting reads and writes by their own ceilings.
+func (d *NVM) BusyFraction(elapsedCycles uint64) float64 {
+	if elapsedCycles == 0 {
+		return 0
+	}
+	busy := float64(d.stats.ReadBytes)*d.readPerB + float64(d.stats.WriteBytes)*d.writePerB
+	return busy / float64(elapsedCycles)
+}
+
+// QueueDelay returns how far beyond now the shared channel is already
+// reserved.
+func (d *NVM) QueueDelay(now uint64) uint64 {
+	if d.chanFree > now {
+		return d.chanFree - now
+	}
+	return 0
+}
+
+// WearLevel returns the lifetime write count of the wear block holding
+// device-local address local.
+func (d *NVM) WearLevel(local uint64) uint64 {
+	b := local >> d.wearShift
+	if b >= uint64(len(d.wear)) {
+		return 0
+	}
+	return uint64(d.wear[b])
+}
+
+// Energy computes the device's energy over the elapsed window. NVM has
+// no refresh; ActPrePJ is charged once per access as the row/sense
+// overhead.
+func (d *NVM) Energy(cfg config.PowerConfig, elapsedCycles uint64) EnergyReport {
+	seconds := float64(elapsedCycles) / d.cpuHz
+	return EnergyReport{
+		ActivateNJ:   float64(d.stats.Reads+d.stats.Writes) * cfg.ActPrePJ / 1e3,
+		ReadNJ:       float64(d.stats.ReadBytes) * cfg.ReadPJPerByte / 1e3,
+		WriteNJ:      float64(d.stats.WriteBytes) * cfg.WritePJPerByte / 1e3,
+		BackgroundNJ: cfg.BackgroundMW * seconds * 1e6,
+	}
+}

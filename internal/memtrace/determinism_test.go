@@ -37,6 +37,9 @@ func gateOpts(t *testing.T, policyName string, scale uint64) sim.Options {
 	if err != nil {
 		t.Fatal(err)
 	}
+	for opts.Config.NumTiers() < desc.RequiredTiers() {
+		opts.Config = opts.Config.WithNVMTier(32 * config.GB / scale)
+	}
 	if desc.RequiresBaseline {
 		opts.BaselineBytes = 24 * config.GB / scale
 	}

@@ -191,7 +191,7 @@ func (a *AutoNUMA) migrate(from uint32, now uint64) {
 	p.table[m.vpage] = to
 	o.meta[to] = frameMeta{proc: m.proc, vpage: m.vpage, ref: true}
 	o.meta[from].proc = -1
-	o.free[1] = append(o.free[1], from)
+	o.free[o.nodeOf(from)] = append(o.free[o.nodeOf(from)], from)
 	o.stats.Migrations++
 	// ISA notifications: in an OS-managed NUMA system there is no
 	// hardware remapping, so no notifier is attached; if one is, keep

@@ -89,14 +89,20 @@ const groupAwareSamples = 8
 // lists and maximising the group-tracker score. The caller guarantees
 // at least one free frame exists.
 func (o *OS) allocGroupAware() uint32 {
-	nf, ns := len(o.free[0]), len(o.free[1])
-	total := nf + ns
+	total := 0
+	for _, l := range o.free {
+		total += len(l)
+	}
 	bestList, bestIdx, bestScore := -1, -1, -1
 	for s := 0; s < groupAwareSamples; s++ {
-		k := int(o.rnd.Uint64n(uint64(total)))
-		list, idx := 0, k
-		if k >= nf {
-			list, idx = 1, k-nf
+		// Index into the concatenation of the node free lists — uniform
+		// over free frames, and draw-for-draw identical to the two-node
+		// engine's fast/slow split.
+		idx := int(o.rnd.Uint64n(uint64(total)))
+		list := 0
+		for idx >= len(o.free[list]) {
+			idx -= len(o.free[list])
+			list++
 		}
 		frame := o.free[list][idx]
 		if sc := o.groups.score(frame, o.cfg.PageBytes); sc > bestScore {

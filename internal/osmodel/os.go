@@ -82,6 +82,11 @@ type Config struct {
 	PageFaultCycles uint64 // major-fault (SSD) stall
 	Alloc           AllocPolicy
 	Seed            uint64
+	// NodeBytes carves the space into N NUMA nodes (ordered near to
+	// far, summing to TotalBytes) so the allocator can place across an
+	// arbitrary tier stack. Nil derives the classic two-node split from
+	// FastBytes: [FastBytes, TotalBytes-FastBytes].
+	NodeBytes []uint64
 	// Space is the segment-group geometry, required by AllocGroupAware.
 	Space *addr.Space
 }
@@ -136,9 +141,10 @@ func (p *Process) ResidentBytes(pageBytes uint64) uint64 { return p.resident * p
 // OS is the operating-system model.
 type OS struct {
 	cfg        Config
-	frames     uint64 // total frames
-	fastFrames uint64 // frames on the stacked node
-	free       [2][]uint32
+	frames     uint64   // total frames
+	fastFrames uint64   // frames on the first (stacked) node
+	nodeStart  []uint64 // frame index where each node begins, plus a final sentinel
+	free       [][]uint32
 	meta       []frameMeta
 	procs      []*Process
 	hand       uint64 // CLOCK hand
@@ -166,6 +172,21 @@ func New(cfg Config, notifier Notifier) (*OS, error) {
 	if cfg.FastBytes%cfg.PageBytes != 0 || cfg.FastBytes > cfg.TotalBytes {
 		return nil, fmt.Errorf("osmodel: fast capacity %d invalid", cfg.FastBytes)
 	}
+	nodeBytes := cfg.NodeBytes
+	if len(nodeBytes) == 0 {
+		nodeBytes = []uint64{cfg.FastBytes, cfg.TotalBytes - cfg.FastBytes}
+	} else {
+		var sum uint64
+		for i, nb := range nodeBytes {
+			if nb%cfg.PageBytes != 0 {
+				return nil, fmt.Errorf("osmodel: node %d capacity %d not a multiple of the page size", i, nb)
+			}
+			sum += nb
+		}
+		if sum != cfg.TotalBytes {
+			return nil, fmt.Errorf("osmodel: node capacities sum to %d, capacity is %d", sum, cfg.TotalBytes)
+		}
+	}
 	if cfg.SegBytes != 0 && cfg.SegBytes > cfg.PageBytes {
 		return nil, fmt.Errorf("osmodel: segment size %d exceeds page size %d", cfg.SegBytes, cfg.PageBytes)
 	}
@@ -181,32 +202,37 @@ func New(cfg Config, notifier Notifier) (*OS, error) {
 		}
 	}
 	o := &OS{
-		cfg:        cfg,
-		frames:     cfg.TotalBytes / cfg.PageBytes,
-		fastFrames: cfg.FastBytes / cfg.PageBytes,
-		notifier:   notifier,
-		rnd:        rng.New(cfg.Seed),
+		cfg:      cfg,
+		frames:   cfg.TotalBytes / cfg.PageBytes,
+		notifier: notifier,
+		rnd:      rng.New(cfg.Seed),
 	}
+	o.nodeStart = make([]uint64, len(nodeBytes)+1)
+	for i, nb := range nodeBytes {
+		o.nodeStart[i+1] = o.nodeStart[i] + nb/cfg.PageBytes
+	}
+	o.fastFrames = o.nodeStart[1]
 	o.meta = make([]frameMeta, o.frames)
 	for i := range o.meta {
 		o.meta[i].proc = -1
 	}
-	fast := make([]uint32, 0, o.fastFrames)
-	slow := make([]uint32, 0, o.frames-o.fastFrames)
 	// Free lists are stacks; push in descending order so that
 	// sequential allocation pops ascending addresses.
-	for f := int64(o.frames) - 1; f >= 0; f-- {
-		if uint64(f) < o.fastFrames {
-			fast = append(fast, uint32(f))
-		} else {
-			slow = append(slow, uint32(f))
+	o.free = make([][]uint32, len(nodeBytes))
+	for n := range o.free {
+		lo, hi := o.nodeStart[n], o.nodeStart[n+1]
+		l := make([]uint32, 0, hi-lo)
+		for f := int64(hi) - 1; f >= int64(lo); f-- {
+			l = append(l, uint32(f))
 		}
+		o.free[n] = l
 	}
 	if cfg.Alloc == AllocShuffled {
-		o.rnd.Shuffle(len(fast), func(i, j int) { fast[i], fast[j] = fast[j], fast[i] })
-		o.rnd.Shuffle(len(slow), func(i, j int) { slow[i], slow[j] = slow[j], slow[i] })
+		for _, l := range o.free {
+			l := l
+			o.rnd.Shuffle(len(l), func(i, j int) { l[i], l[j] = l[j], l[i] })
+		}
 	}
-	o.free[0], o.free[1] = fast, slow
 	if cfg.Alloc == AllocGroupAware {
 		o.groups = newGroupTracker(cfg.Space, cfg.PageBytes)
 	}
@@ -241,12 +267,54 @@ func (o *OS) NewProcess() *Process {
 
 // FreeBytes returns the total unallocated physical memory.
 func (o *OS) FreeBytes() uint64 {
-	return uint64(len(o.free[0])+len(o.free[1])) * o.cfg.PageBytes
+	var n int
+	for _, l := range o.free {
+		n += len(l)
+	}
+	return uint64(n) * o.cfg.PageBytes
 }
 
 // FastFreeBytes returns unallocated memory on the stacked node.
 func (o *OS) FastFreeBytes() uint64 {
 	return uint64(len(o.free[0])) * o.cfg.PageBytes
+}
+
+// Nodes returns the number of NUMA nodes the space is carved into.
+func (o *OS) Nodes() int { return len(o.free) }
+
+// NodeFreeBytes returns unallocated memory on node n.
+func (o *OS) NodeFreeBytes(n int) uint64 {
+	if n < 0 || n >= len(o.free) {
+		return 0
+	}
+	return uint64(len(o.free[n])) * o.cfg.PageBytes
+}
+
+// nodeOf returns the node holding a frame.
+func (o *OS) nodeOf(frame uint32) int {
+	for n := 1; n < len(o.nodeStart); n++ {
+		if uint64(frame) < o.nodeStart[n] {
+			return n - 1
+		}
+	}
+	return len(o.free) - 1
+}
+
+// ResidentBytesIn returns how much of the physical range [lo, hi) is
+// currently mapped — the occupancy metric per-tier reporting uses. It
+// scans frame metadata, so callers should treat it as an end-of-run
+// accounting call, not a hot-path one.
+func (o *OS) ResidentBytesIn(lo, hi uint64) uint64 {
+	page := o.cfg.PageBytes
+	first := lo / page
+	last := min((hi+page-1)/page, o.frames)
+	var n uint64
+	for f := first; f < last; f++ {
+		if o.meta[f].proc >= 0 {
+			n++
+		}
+	}
+	return n * page
 }
 
 // StackedHitRate returns the fraction of translated accesses that
@@ -260,37 +328,56 @@ func (o *OS) StackedHitRate() float64 {
 
 // pickNode chooses which node to allocate from, per the policy.
 func (o *OS) pickNode() int {
-	nf, ns := len(o.free[0]), len(o.free[1])
-	if nf == 0 && ns == 0 {
-		return -1
+	// With zero or one node holding free frames the policy has no
+	// choice to make — and, critically, the RNG-backed policies must
+	// consume no draw (the two-node engine behaved this way, and the
+	// deterministic-equivalence gate holds us to it).
+	total, nonempty, first := 0, 0, -1
+	for i, l := range o.free {
+		if len(l) > 0 {
+			total += len(l)
+			nonempty++
+			if first < 0 {
+				first = i
+			}
+		}
 	}
-	if nf == 0 {
-		return 1
-	}
-	if ns == 0 {
-		return 0
+	if nonempty <= 1 {
+		return first // -1 when every node is full
 	}
 	switch o.cfg.Alloc {
 	case AllocFirstTouch, AllocSequential:
-		return 0
+		return first
 	case AllocSlowFirst:
-		return 1
-	case AllocInterleave:
-		o.inext ^= 1
-		return o.inext
-	default: // AllocShuffled: weight by free count => uniform over frames
-		if o.rnd.Uint64n(uint64(nf+ns)) < uint64(nf) {
-			return 0
+		for i := len(o.free) - 1; i >= 0; i-- {
+			if len(o.free[i]) > 0 {
+				return i
+			}
 		}
-		return 1
+	case AllocInterleave:
+		for range o.free {
+			o.inext = (o.inext + 1) % len(o.free)
+			if len(o.free[o.inext]) > 0 {
+				return o.inext
+			}
+		}
+	default: // AllocShuffled: weight by free count => uniform over frames
+		k := o.rnd.Uint64n(uint64(total))
+		for i, l := range o.free {
+			if k < uint64(len(l)) {
+				return i
+			}
+			k -= uint64(len(l))
+		}
 	}
+	return -1
 }
 
 // allocFrame pops a free frame, or evicts a victim when memory is
 // exhausted. It returns the frame and whether the allocation required
 // an eviction (a major fault for the toucher).
 func (o *OS) allocFrame(now uint64) (uint32, bool) {
-	if o.groups != nil && len(o.free[0])+len(o.free[1]) > 0 {
+	if o.groups != nil && o.FreeBytes() > 0 {
 		f := o.allocGroupAware()
 		o.groups.allocate(f, o.cfg.PageBytes)
 		o.notifyAlloc(now, f)
@@ -467,10 +554,7 @@ func (o *OS) FreeRange(p *Process, vaddr, bytes uint64, now uint64) {
 		p.table[vpage] = noFrame
 		p.resident--
 		o.meta[frame].proc = -1
-		node := 1
-		if uint64(frame) < o.fastFrames {
-			node = 0
-		}
+		node := o.nodeOf(frame)
 		o.free[node] = append(o.free[node], frame)
 		if o.groups != nil {
 			o.groups.release(frame, o.cfg.PageBytes)

@@ -10,7 +10,7 @@ func init() {
 	Register("alloy", Descriptor{
 		Build: func(bc BuildContext) (Controller, error) {
 			return NewAlloy(bc.Fast, bc.Slow,
-				bc.Config.Fast.CapacityBytes, bc.Config.Slow.CapacityBytes)
+				bc.Config.TierCapacity(0), bc.Config.TierCapacity(1))
 		},
 	})
 }

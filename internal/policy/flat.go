@@ -18,31 +18,62 @@ func init() {
 	Register("numa-flat", Descriptor{
 		OSManaged: true,
 		Build: func(bc BuildContext) (Controller, error) {
+			if len(bc.Tiers) > 2 {
+				// The whole stack is OS-visible: every tier becomes a
+				// NUMA node, ordered near to far.
+				return NewFlatTiers("numa-flat", bc.Tiers), nil
+			}
 			return NewFlat("numa-flat", bc.Fast, bc.Slow,
-				bc.Config.Fast.CapacityBytes, bc.Config.TotalCapacity()), nil
+				bc.Config.TierCapacity(0), bc.Config.TotalCapacity()), nil
 		},
 	})
 }
 
-// Flat is a non-remapping memory system. With only an off-chip device
-// it models the paper's baseline_20GB/24GB DDR3 systems; with both
-// devices it models the OS-managed NUMA-flat system used by the
-// first-touch and AutoNUMA studies (addresses below the stacked
-// capacity go to the stacked DRAM, the rest to off-chip, with no
-// hardware indirection).
+// Flat is a non-remapping memory system over an ordered tier stack.
+// With only an off-chip device it models the paper's
+// baseline_20GB/24GB DDR3 systems; with two or more devices it models
+// the OS-managed NUMA-flat system used by the first-touch and AutoNUMA
+// studies (addresses route to the tier whose OS-visible range they fall
+// in, with no hardware indirection).
 type Flat struct {
-	name      string
-	fast      Mem // nil when no stacked DRAM is present
-	slow      Mem
-	fastBytes uint64 // stacked capacity (0 when absent)
-	total     uint64 // OS-visible capacity
-	stats     Stats
+	name    string
+	mems    []Mem
+	bases   []uint64 // tier i owns OS addresses [bases[i], bases[i+1])
+	fastIdx int      // tier counted as a stacked-DRAM hit (-1 when none)
+	total   uint64   // OS-visible capacity
+	stats   Stats
+	tierAcc []uint64 // demand accesses per tier
 }
 
-// NewFlat builds a flat memory system. fast may be nil for a
-// DDR3-only baseline; total is the OS-visible capacity in bytes.
+// NewFlat builds a flat memory system over the classic fast/slow pair.
+// fast may be nil for a DDR3-only baseline; total is the OS-visible
+// capacity in bytes.
 func NewFlat(name string, fast, slow Mem, fastBytes, total uint64) *Flat {
-	return &Flat{name: name, fast: fast, slow: slow, fastBytes: fastBytes, total: total}
+	f := &Flat{name: name, fastIdx: -1, total: total}
+	if fast != nil {
+		f.mems = append(f.mems, fast)
+		f.bases = append(f.bases, 0)
+		f.fastIdx = 0
+	}
+	f.mems = append(f.mems, slow)
+	f.bases = append(f.bases, fastBytes, total)
+	f.tierAcc = make([]uint64, len(f.mems))
+	return f
+}
+
+// NewFlatTiers builds a flat memory system spanning an arbitrary tier
+// stack; the whole capacity is OS-visible and tier 0 counts as the
+// stacked node.
+func NewFlatTiers(name string, tiers []TierMem) *Flat {
+	f := &Flat{name: name, fastIdx: 0}
+	f.bases = append(f.bases, 0)
+	for _, t := range tiers {
+		f.mems = append(f.mems, t.Mem)
+		f.total += t.CapacityBytes
+		f.bases = append(f.bases, f.total)
+	}
+	f.tierAcc = make([]uint64, len(f.mems))
+	return f
 }
 
 // Name implements Controller.
@@ -55,19 +86,29 @@ func (f *Flat) OSVisibleBytes() uint64 { return f.total }
 func (f *Flat) Stats() Stats { return f.stats }
 
 // ResetStats implements Controller.
-func (f *Flat) ResetStats() { f.stats = Stats{} }
+func (f *Flat) ResetStats() {
+	f.stats = Stats{}
+	clear(f.tierAcc)
+}
+
+// TierAccesses implements TierAccounting.
+func (f *Flat) TierAccesses() []uint64 { return f.tierAcc }
 
 // Access implements Controller.
 func (f *Flat) Access(now uint64, p addr.Phys, write bool) AccessResult {
 	f.stats.Accesses++
-	var done uint64
-	fastHit := false
-	if f.fast != nil && uint64(p) < f.fastBytes {
-		done = f.fast.Access(now, uint64(p), write, 64)
-		fastHit = true
+	i := len(f.mems) - 1
+	for j := 1; j < len(f.mems); j++ {
+		if uint64(p) < f.bases[j] {
+			i = j - 1
+			break
+		}
+	}
+	done := f.mems[i].Access(now, uint64(p)-f.bases[i], write, 64)
+	f.tierAcc[i]++
+	fastHit := i == f.fastIdx
+	if fastHit {
 		f.stats.FastHits++
-	} else {
-		done = f.slow.Access(now, uint64(p)-f.fastBytes, write, 64)
 	}
 	f.stats.LatencySum += done - now
 	return AccessResult{Done: done, FastHit: fastHit}

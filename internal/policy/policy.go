@@ -15,13 +15,30 @@ import (
 	"chameleon/internal/stats"
 )
 
-// Mem is the DRAM device abstraction the controllers drive.
-// *dram.Device implements it; tests substitute fixed-latency fakes.
+// Mem is the memory device abstraction the controllers drive.
+// *dram.Device and the memtier NVM/CXL devices implement it; tests
+// substitute fixed-latency fakes.
 type Mem interface {
 	// Access performs one transfer and returns its completion cycle.
 	Access(now uint64, local uint64, write bool, bytes int) uint64
 	// Stream performs a bulk transfer as line-sized accesses.
 	Stream(now uint64, local uint64, write bool, bytes, lineBytes int) uint64
+}
+
+// TierMem is one level of the memory stack as seen by a controller:
+// the device plus the identity a placement policy keys decisions on
+// (an NVM tier's kind drives endurance-aware write throttling).
+type TierMem struct {
+	Name          string
+	Kind          string // config.TierDRAM / TierNVM / TierCXL
+	CapacityBytes uint64
+	Mem           Mem
+}
+
+// TierAccounting is implemented by controllers that track per-tier
+// demand-access counts (index 0 = nearest tier).
+type TierAccounting interface {
+	TierAccesses() []uint64
 }
 
 // AccessResult describes one serviced demand access.
@@ -48,6 +65,10 @@ type Stats struct {
 	SRTHits   uint64
 	SRTMisses uint64
 
+	// ThrottledDemotions counts demotions a tiering policy skipped to
+	// protect a write-endurance-limited (NVM) tier from hot writers.
+	ThrottledDemotions uint64
+
 	LatencySum uint64 // sum over accesses of (Done - now)
 }
 
@@ -70,21 +91,22 @@ func (s Stats) AMAT() float64 {
 // Snapshot flattens the stats into the unified metric shape.
 func (s Stats) Snapshot() stats.Snapshot {
 	return stats.Snapshot{
-		"accesses":         float64(s.Accesses),
-		"fast_hits":        float64(s.FastHits),
-		"hit_rate":         s.HitRate(),
-		"amat_cycles":      s.AMAT(),
-		"swaps":            float64(s.Swaps),
-		"swap_bytes":       float64(s.SwapBytes),
-		"fills":            float64(s.Fills),
-		"writebacks":       float64(s.Writebacks),
-		"proactive_moves":  float64(s.ProactiveMoves),
-		"isa_allocs":       float64(s.ISAAllocs),
-		"isa_frees":        float64(s.ISAFrees),
-		"cleared_segments": float64(s.ClearedSegments),
-		"srt_hits":         float64(s.SRTHits),
-		"srt_misses":       float64(s.SRTMisses),
-		"latency_sum":      float64(s.LatencySum),
+		"accesses":            float64(s.Accesses),
+		"fast_hits":           float64(s.FastHits),
+		"hit_rate":            s.HitRate(),
+		"amat_cycles":         s.AMAT(),
+		"swaps":               float64(s.Swaps),
+		"swap_bytes":          float64(s.SwapBytes),
+		"fills":               float64(s.Fills),
+		"writebacks":          float64(s.Writebacks),
+		"proactive_moves":     float64(s.ProactiveMoves),
+		"isa_allocs":          float64(s.ISAAllocs),
+		"isa_frees":           float64(s.ISAFrees),
+		"cleared_segments":    float64(s.ClearedSegments),
+		"srt_hits":            float64(s.SRTHits),
+		"srt_misses":          float64(s.SRTMisses),
+		"throttled_demotions": float64(s.ThrottledDemotions),
+		"latency_sum":         float64(s.LatencySum),
 	}
 }
 

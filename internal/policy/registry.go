@@ -11,14 +11,17 @@ import (
 )
 
 // BuildContext carries everything a registered design needs to
-// construct its Controller: the machine configuration and the two DRAM
-// devices the simulator already built. For flat DDR baselines
-// (Descriptor.RequiresBaseline) the simulator sizes the off-chip device
-// to BaselineBytes before calling Build.
+// construct its Controller: the machine configuration and the memory
+// tier stack the simulator already built. For flat DDR baselines
+// (Descriptor.RequiresBaseline) the simulator sizes the second tier's
+// device to BaselineBytes before calling Build.
 type BuildContext struct {
 	Config config.Config
-	// Fast and Slow are the stacked and off-chip devices (*dram.Device
-	// in the simulator, fakes in tests).
+	// Tiers is the ordered memory stack (nearest first). Devices are
+	// *dram.Device / memtier devices in the simulator, fakes in tests.
+	Tiers []TierMem
+	// Fast and Slow alias Tiers[0].Mem and Tiers[1].Mem — the pair
+	// every two-tier design consumes.
 	Fast Mem
 	Slow Mem
 	// BaselineBytes is the OS-visible capacity of a flat baseline
@@ -29,7 +32,11 @@ type BuildContext struct {
 // NewSpace builds the two-device address space at the given remapping
 // granularity — the common first step of every SRRT-based design.
 func (bc BuildContext) NewSpace(segBytes uint64) (*addr.Space, error) {
-	return addr.NewSpace(bc.Config.Fast.CapacityBytes, bc.Config.Slow.CapacityBytes, segBytes)
+	fast, slow := bc.Config.TierCapacity(0), bc.Config.TierCapacity(1)
+	if len(bc.Tiers) >= 2 {
+		fast, slow = bc.Tiers[0].CapacityBytes, bc.Tiers[1].CapacityBytes
+	}
+	return addr.NewSpace(fast, slow, segBytes)
 }
 
 // Descriptor describes one memory-system design to the rest of the
@@ -54,6 +61,20 @@ type Descriptor struct {
 	// both memories to the OS as NUMA nodes: the OS defaults to
 	// first-touch allocation and may attach AutoNUMA migration.
 	OSManaged bool
+	// MinTiers is the number of memory tiers the design needs. Zero
+	// means the classic two; designs that place across deeper stacks
+	// (hot/warm/cold) declare 3 or more, and the simulator rejects
+	// configurations with fewer tiers than the design exploits.
+	MinTiers int
+}
+
+// RequiredTiers returns the effective tier floor (MinTiers, defaulting
+// to 2).
+func (d Descriptor) RequiredTiers() int {
+	if d.MinTiers < 2 {
+		return 2
+	}
+	return d.MinTiers
 }
 
 // ISASegBytes returns the granularity at which the OS should issue

@@ -1,0 +1,304 @@
+package policy
+
+import (
+	"fmt"
+
+	"chameleon/internal/addr"
+	"chameleon/internal/config"
+)
+
+func init() {
+	Register("hwc", Descriptor{
+		MinTiers: 3,
+		Build: func(bc BuildContext) (Controller, error) {
+			ms := bc.Config.MemSys
+			return NewHWC("hwc", bc.Tiers, uint64(ms.SegmentBytes), ms.SwapThreshold, ms.CacheLineBytes)
+		},
+	})
+}
+
+// HWC is a hardware-managed hot/warm/cold placement policy for stacks
+// of three or more tiers. The whole capacity is OS-visible through a
+// full segment-indirection table (every segment can live in any slot of
+// any tier). Per-segment saturating heat counters drive promotion: a
+// segment that crosses the promotion threshold of a nearer tier swaps
+// with a cold victim there, chosen by a clock-hand scan. Demotions into
+// a write-endurance-limited (NVM) tier are throttled: victims whose
+// write heat is still high stay put rather than burn endurance, and the
+// skip is counted in Stats.ThrottledDemotions.
+//
+// The access path performs no heap allocations; all state is dense
+// per-segment arrays sized at construction.
+type HWC struct {
+	name  string
+	tiers []TierMem
+
+	segBytes  uint64
+	segShift  uint
+	lineBytes int
+	threshold int // promotion threshold base (MemSys.SwapThreshold)
+
+	// Slot geometry: slots are numbered contiguously across the stack,
+	// tier i owning [slotStart[i], slotStart[i+1]).
+	slotStart []uint32
+	nvmTier   []bool // per tier: write-endurance-limited
+
+	loc  []uint32 // segment -> slot
+	occ  []uint32 // slot -> segment
+	heat []uint8  // per-segment saturating access heat
+	wrht []uint8  // per-segment saturating write heat
+
+	hands []uint32 // per-tier clock hand for victim selection
+
+	// In-transit transfer backlog, as in remapSys: optional swaps are
+	// skipped while the engine is too far behind or a device is
+	// congested.
+	xferBacklog uint64
+	maxBacklog  uint64
+
+	accesses    uint64 // decay clock
+	fastForward bool
+
+	tierAcc []uint64
+	stats   Stats
+}
+
+// hwcDecayInterval halves every heat counter each time this many
+// accesses have been serviced, so heat tracks the current phase rather
+// than the whole run.
+const hwcDecayInterval = 1 << 14
+
+// hwcVictimScan bounds the clock-hand victim search per promotion.
+const hwcVictimScan = 8
+
+// hwcHotWrite is the write-heat level at or above which a segment is
+// considered too write-hot to demote into an NVM tier.
+const hwcHotWrite = 4
+
+// NewHWC builds the hot/warm/cold controller over the given stack.
+func NewHWC(name string, tiers []TierMem, segBytes uint64, threshold, lineBytes int) (*HWC, error) {
+	if len(tiers) < 3 {
+		return nil, fmt.Errorf("hwc: needs at least 3 tiers, got %d", len(tiers))
+	}
+	if segBytes == 0 || segBytes&(segBytes-1) != 0 {
+		return nil, fmt.Errorf("hwc: segment size must be a positive power of two, got %d", segBytes)
+	}
+	h := &HWC{
+		name:       name,
+		tiers:      tiers,
+		segBytes:   segBytes,
+		lineBytes:  lineBytes,
+		threshold:  max(threshold, 1),
+		maxBacklog: 2048,
+		slotStart:  make([]uint32, len(tiers)+1),
+		nvmTier:    make([]bool, len(tiers)),
+		hands:      make([]uint32, len(tiers)),
+		tierAcc:    make([]uint64, len(tiers)),
+	}
+	for i := uint(0); i < 64; i++ {
+		if segBytes == 1<<i {
+			h.segShift = i
+		}
+	}
+	var slots uint64
+	for i, t := range tiers {
+		if t.CapacityBytes%segBytes != 0 {
+			return nil, fmt.Errorf("hwc: tier %s capacity %d not a multiple of the segment size", t.Name, t.CapacityBytes)
+		}
+		slots += t.CapacityBytes / segBytes
+		h.slotStart[i+1] = uint32(slots)
+		h.nvmTier[i] = t.Kind == config.TierNVM
+	}
+	// Identity placement: OS address order maps straight down the
+	// stack, so tier 0 starts out holding the lowest segments.
+	h.loc = make([]uint32, slots)
+	h.occ = make([]uint32, slots)
+	h.heat = make([]uint8, slots)
+	h.wrht = make([]uint8, slots)
+	for s := range h.loc {
+		h.loc[s] = uint32(s)
+		h.occ[s] = uint32(s)
+	}
+	return h, nil
+}
+
+// Name implements Controller.
+func (h *HWC) Name() string { return h.name }
+
+// OSVisibleBytes implements Controller: the whole stack.
+func (h *HWC) OSVisibleBytes() uint64 {
+	return uint64(h.slotStart[len(h.tiers)]) << h.segShift
+}
+
+// Stats implements Controller.
+func (h *HWC) Stats() Stats { return h.stats }
+
+// ResetStats implements Controller.
+func (h *HWC) ResetStats() {
+	h.stats = Stats{}
+	clear(h.tierAcc)
+}
+
+// TierAccesses implements TierAccounting.
+func (h *HWC) TierAccesses() []uint64 { return h.tierAcc }
+
+// SetFastForward implements the simulator's warm-up contract: metadata
+// still updates, device traffic is suppressed.
+func (h *HWC) SetFastForward(v bool) { h.fastForward = v }
+
+// tierOf returns the tier owning a slot.
+func (h *HWC) tierOf(slot uint32) int {
+	for i := 1; i < len(h.slotStart); i++ {
+		if slot < h.slotStart[i] {
+			return i - 1
+		}
+	}
+	return len(h.tiers) - 1
+}
+
+// slotMem returns the device and device-local address of a slot.
+func (h *HWC) slotMem(slot uint32) (Mem, uint64, int) {
+	t := h.tierOf(slot)
+	local := uint64(slot-h.slotStart[t]) << h.segShift
+	return h.tiers[t].Mem, local, t
+}
+
+// canTransfer mirrors remapSys: optional background transfers are
+// skipped while the in-transit buffers are behind or a device is
+// congested.
+func (h *HWC) canTransfer(now uint64) bool {
+	if h.xferBacklog > now+h.maxBacklog {
+		return false
+	}
+	for _, t := range h.tiers {
+		if c, ok := t.Mem.(congestible); ok && c.QueueDelay(now) > h.maxBacklog {
+			return false
+		}
+	}
+	return true
+}
+
+// Access implements Controller.
+func (h *HWC) Access(now uint64, p addr.Phys, write bool) AccessResult {
+	seg := uint64(p) >> h.segShift
+	offset := uint64(p) & (h.segBytes - 1)
+	slot := h.loc[seg]
+	mem, local, tier := h.slotMem(slot)
+
+	var done uint64
+	if h.fastForward {
+		done = now + 200
+	} else {
+		done = mem.Access(now, local+offset, write, 64)
+	}
+	h.tierAcc[tier]++
+	h.stats.Accesses++
+	fastHit := tier == 0
+	if fastHit {
+		h.stats.FastHits++
+	}
+	h.stats.LatencySum += done - now
+
+	// Heat tracking and promotion. The promotion target is the hottest
+	// tier whose threshold the segment's heat now clears: heat must
+	// reach threshold*t to earn a slot in tier t-1 (nearer tiers demand
+	// more evidence, keeping tier 0 for genuinely hot segments).
+	if h.heat[seg] < 0xff {
+		h.heat[seg]++
+	}
+	if write && h.wrht[seg] < 0xff {
+		h.wrht[seg]++
+	}
+	if tier > 0 && int(h.heat[seg]) >= h.threshold*tier && h.canTransfer(now) {
+		h.promote(now, uint32(seg), slot, tier)
+	}
+
+	h.accesses++
+	if h.accesses%hwcDecayInterval == 0 {
+		h.decay()
+	}
+	return AccessResult{Done: done, FastHit: fastHit}
+}
+
+// promote swaps the segment into the next-nearer tier, evicting the
+// coldest victim the clock hand finds there. Demotion of a write-hot
+// victim into an NVM tier is vetoed (endurance throttling) unless a
+// colder victim exists in the scan window.
+func (h *HWC) promote(now uint64, seg, slot uint32, fromTier int) {
+	dst := fromTier - 1
+	lo, hi := h.slotStart[dst], h.slotStart[dst+1]
+	n := hi - lo
+	if n == 0 {
+		return
+	}
+	// Clock-hand scan for the coldest resident of the destination tier.
+	victim := uint32(0xffffffff)
+	var victimHeat uint8 = 0xff
+	hand := h.hands[dst]
+	for i := uint32(0); i < hwcVictimScan && i < n; i++ {
+		s := lo + (hand+i)%n
+		resident := h.occ[s]
+		hheat := h.heat[resident]
+		if hheat < victimHeat {
+			victim, victimHeat = s, hheat
+		}
+		if hheat == 0 {
+			break
+		}
+	}
+	h.hands[dst] = (hand + hwcVictimScan) % n
+	if victim == 0xffffffff || victimHeat >= h.heat[seg] {
+		return // nothing colder than the promotee in the window
+	}
+	// Endurance throttle: do not demote a write-hot segment into NVM —
+	// it would keep writing there and burn the wear budget.
+	if h.nvmTier[fromTier] && h.wrht[h.occ[victim]] >= hwcHotWrite {
+		h.stats.ThrottledDemotions++
+		return
+	}
+	h.swap(now, slot, victim)
+}
+
+// swap exchanges the contents (and mappings) of two slots, charging
+// both devices' bandwidth like remapSys.swapSegments.
+func (h *HWC) swap(now uint64, a, b uint32) {
+	segA, segB := h.occ[a], h.occ[b]
+	h.stats.Swaps++
+	h.stats.SwapBytes += 2 * h.segBytes
+	if !h.fastForward {
+		am, ab, _ := h.slotMem(a)
+		bm, bb, _ := h.slotMem(b)
+		seg := int(h.segBytes)
+		rdA := am.Stream(now, ab, false, seg, h.lineBytes)
+		wrB := bm.Stream(now, bb, true, seg, h.lineBytes)
+		rdB := bm.Stream(now, bb, false, seg, h.lineBytes)
+		wrA := am.Stream(now, ab, true, seg, h.lineBytes)
+		done := max(max(rdA, wrB), max(rdB, wrA))
+		if done > h.xferBacklog {
+			h.xferBacklog = done
+		}
+	}
+	h.loc[segA], h.loc[segB] = b, a
+	h.occ[a], h.occ[b] = segB, segA
+}
+
+// decay halves every heat counter — cheap phase adaptation.
+func (h *HWC) decay() {
+	for i := range h.heat {
+		h.heat[i] >>= 1
+		h.wrht[i] >>= 1
+	}
+}
+
+// ISAAlloc implements Controller; hwc is free-space agnostic.
+func (h *HWC) ISAAlloc(now uint64, seg addr.Seg) { h.stats.ISAAllocs++ }
+
+// ISAFree implements Controller: a freed segment's heat is cleared so
+// stale heat cannot promote dead data.
+func (h *HWC) ISAFree(now uint64, seg addr.Seg) {
+	h.stats.ISAFrees++
+	if s := uint64(seg); s < uint64(len(h.heat)) {
+		h.heat[s] = 0
+		h.wrht[s] = 0
+	}
+}

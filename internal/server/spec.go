@@ -80,6 +80,11 @@ type JobSpec struct {
 	// an explicit stack (ordered from the core outward; see
 	// config.CacheLevelConfig). Empty keeps the scaled default.
 	CacheLevels []config.CacheLevelConfig `json:"cache_levels,omitempty"`
+	// MemoryTiers replaces the default stacked + off-chip DRAM pair
+	// with an explicit memory stack (ordered nearest first; see
+	// config.MemTierConfig — DRAM, NVM or CXL per tier). Empty keeps
+	// the scaled default, so pre-tier specs hash and run unchanged.
+	MemoryTiers []config.MemTierConfig `json:"memory_tiers,omitempty"`
 
 	// TimeoutMS bounds the job's run time once started (wall clock).
 	// 0 takes the server default. Excluded from the cache hash: the
@@ -124,6 +129,13 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 			return s, fmt.Errorf("cache_levels: %w", err)
 		}
 	}
+	if len(s.MemoryTiers) > 0 {
+		cfg := config.Default(s.Scale)
+		cfg.MemoryTiers = config.CloneTiers(s.MemoryTiers)
+		if err := cfg.Validate(); err != nil {
+			return s, fmt.Errorf("memory_tiers: %w", err)
+		}
+	}
 	switch s.Kind {
 	case KindSim:
 		if s.Policy == "" {
@@ -132,6 +144,10 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		desc, err := policy.Lookup(s.Policy)
 		if err != nil {
 			return s, fmt.Errorf("unknown policy %q (one of %s)", s.Policy, policyNames())
+		}
+		if tiers := max(len(s.MemoryTiers), 2); desc.RequiredTiers() > tiers {
+			return s, fmt.Errorf("policy %q needs %d memory tiers, spec has %d",
+				s.Policy, desc.RequiredTiers(), tiers)
 		}
 		if path, ok := strings.CutPrefix(s.Workload, workload.ReplayPrefix); ok {
 			// Both spellings of a replay normalize identically, so they
@@ -228,6 +244,9 @@ func (s JobSpec) SimOptions() (sim.Options, error) {
 	if len(s.CacheLevels) > 0 {
 		cfg.CacheLevels = s.CacheLevels
 	}
+	if len(s.MemoryTiers) > 0 {
+		cfg.MemoryTiers = config.CloneTiers(s.MemoryTiers)
+	}
 	if s.Ratio > 0 {
 		var err error
 		if cfg, err = cfg.WithRatio(s.Ratio); err != nil {
@@ -285,6 +304,7 @@ func (s JobSpec) MatrixOptions() experiments.Options {
 		Parallelism:  s.Parallelism,
 		Threads:      s.Threads,
 		CacheLevels:  s.CacheLevels,
+		MemoryTiers:  s.MemoryTiers,
 	}
 	for _, p := range s.Policies {
 		o.Policies = append(o.Policies, sim.PolicyKind(p))

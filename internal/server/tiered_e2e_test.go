@@ -1,0 +1,147 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"chameleon/internal/config"
+	"chameleon/internal/experiments"
+	"chameleon/internal/sim"
+	"chameleon/internal/workload"
+)
+
+// threeTierConfig builds the acceptance stack: a small stacked DRAM, a
+// small off-chip DRAM and a large NVM tier, sized so the workload's
+// footprint spills well past both DRAM tiers and the cold tier sees
+// real traffic (and real write wear).
+func threeTierConfig(scale uint64) config.Config {
+	cfg := config.Default(scale).WithNVMTier(32 * config.GB / scale)
+	cfg.MemoryTiers[0].SetCapacity(2 * config.GB / scale)
+	cfg.MemoryTiers[1].SetCapacity(8 * config.GB / scale)
+	return cfg
+}
+
+// TestThreeTierEndToEnd is the N-tier refactor's acceptance gate: a
+// stacked DRAM + off-chip DRAM + NVM machine runs the three-tier hwc
+// policy through the simulator, the experiments matrix and a server
+// job, reporting per-tier occupancy/energy stats and nonzero NVM
+// endurance counters at every surface.
+func TestThreeTierEndToEnd(t *testing.T) {
+	const scale = 1024
+	cfg := threeTierConfig(scale)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct simulation.
+	prof, err := workload.ByName("bwaves")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := sim.New(sim.Options{
+		Config:             cfg,
+		Policy:             "hwc",
+		Workload:           prof.Scale(scale),
+		Seed:               7,
+		WarmupInstructions: 200_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tiers) != 3 {
+		t.Fatalf("result has %d tiers, want 3", len(res.Tiers))
+	}
+	wantKinds := []string{config.TierDRAM, config.TierDRAM, config.TierNVM}
+	for i, tier := range res.Tiers {
+		if tier.Kind != wantKinds[i] {
+			t.Errorf("tier %d kind = %q, want %q", i, tier.Kind, wantKinds[i])
+		}
+		if tier.CapacityBytes == 0 || tier.Occupancy <= 0 || tier.EnergyNJ <= 0 {
+			t.Errorf("tier %d stats incomplete: %+v", i, tier)
+		}
+	}
+	nvm := res.Tiers[2]
+	if nvm.Device["wear_writes"] <= 0 || nvm.Device["max_wear"] <= 0 {
+		t.Fatalf("NVM endurance counters zero: %+v", nvm.Device)
+	}
+	if nvm.DemandAccesses == 0 {
+		t.Error("NVM tier saw no demand accesses")
+	}
+	snap := res.Snapshot()
+	for _, key := range []string{"mem_stacked.reads", "mem_offchip.reads", "mem_nvm.wear_writes", "mem_nvm.occupancy", "mem_nvm.energy_nj"} {
+		if snap[key] <= 0 {
+			t.Errorf("snapshot %s = %v, want > 0", key, snap[key])
+		}
+	}
+
+	// Experiments matrix with the tier stack as an option.
+	m, err := experiments.RunMatrix(experiments.Options{
+		Scale:        scale,
+		Instructions: 50_000,
+		Warmup:       100_000,
+		Workloads:    []string{"bwaves"},
+		Policies:     []sim.PolicyKind{"hwc"},
+		MemoryTiers:  cfg.MemoryTiers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Results["hwc"]["bwaves"] == nil {
+		t.Fatalf("matrix missing hwc/bwaves cell: %+v", m.Results)
+	}
+	if v := m.Metric("hwc", "bwaves", "mem_nvm.wear_writes"); v <= 0 {
+		t.Fatalf("matrix NVM wear = %v, want > 0", v)
+	}
+
+	// Server job carrying the stack over the wire.
+	s := newTestServer(t, Options{Workers: 1})
+	j, err := s.Submit(JobSpec{
+		Kind: KindSim, Policy: "hwc", Workload: "bwaves",
+		Scale: scale, Instructions: 100_000, Warmup: 200_000, Seed: 7,
+		MemoryTiers: cfg.MemoryTiers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, j, 60*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("hwc job state = %s (err %q), want done", st.State, st.Error)
+	}
+	body, err := j.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got sim.Result
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tiers) != 3 || got.Tiers[2].Device["wear_writes"] <= 0 {
+		t.Fatalf("served result lost tier stats: %+v", got.Tiers)
+	}
+}
+
+// TestTierSpecValidation: malformed stacks and under-tiered policies
+// are rejected at submission, not inside a worker.
+func TestTierSpecValidation(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1})
+	// hwc on the default two-tier machine.
+	if _, err := s.Submit(JobSpec{
+		Kind: KindSim, Policy: "hwc", Workload: "bwaves", Scale: 1024,
+	}); err == nil {
+		t.Error("under-tiered hwc spec accepted")
+	}
+	// A stack with an invalid tier.
+	bad := config.Default(1024).MemoryTiers
+	bad[0].Kind = "sram"
+	if _, err := s.Submit(JobSpec{
+		Kind: KindSim, Policy: "chameleon", Workload: "bwaves", Scale: 1024,
+		MemoryTiers: bad,
+	}); err == nil {
+		t.Error("invalid tier stack accepted")
+	}
+}

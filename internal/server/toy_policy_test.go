@@ -24,7 +24,7 @@ var registerToy = sync.OnceFunc(func() {
 	policy.Register("toy", policy.Descriptor{
 		Build: func(bc policy.BuildContext) (policy.Controller, error) {
 			return policy.NewFlat("toy", bc.Fast, bc.Slow,
-				bc.Config.Fast.CapacityBytes, bc.Config.TotalCapacity()), nil
+				bc.Config.TierCapacity(0), bc.Config.TotalCapacity()), nil
 		},
 	})
 })

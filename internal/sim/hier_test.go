@@ -41,6 +41,9 @@ func TestHierarchyEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		for opts.Config.NumTiers() < desc.RequiredTiers() {
+			opts.Config = opts.Config.WithNVMTier(32 * config.GB / scale)
+		}
 		if desc.RequiresBaseline {
 			opts.BaselineBytes = 24 * config.GB / scale
 		}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"chameleon/internal/config"
+	"chameleon/internal/policy"
 	"chameleon/internal/trace"
 	"chameleon/internal/workload"
 )
@@ -21,8 +22,14 @@ func parOpts(t testing.TB, kind string, threads int) Options {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfg := config.Default(scale)
+	if desc, err := policy.Lookup(kind); err == nil {
+		for cfg.NumTiers() < desc.RequiredTiers() {
+			cfg = cfg.WithNVMTier(32 * config.GB / scale)
+		}
+	}
 	return Options{
-		Config:             config.Default(scale),
+		Config:             cfg,
 		Policy:             PolicyKind(kind),
 		Workload:           prof.Scale(4 * scale),
 		Seed:               29,

@@ -11,6 +11,7 @@ import (
 	"chameleon/internal/hier"
 	"chameleon/internal/osmodel"
 	"chameleon/internal/policy"
+	"chameleon/internal/stats"
 )
 
 // CoreResult summarises one core's execution.
@@ -36,6 +37,27 @@ type LevelResult struct {
 // Name implements stats.Source.
 func (l LevelResult) Name() string { return l.Level }
 
+// TierResult is one memory tier's end-of-run statistics.
+type TierResult struct {
+	Tier          string // device name (stacked, offchip, nvm, ...)
+	Kind          string // dram / nvm / cxl
+	CapacityBytes uint64
+	// DemandAccesses is the tier's demand-access count. For designs
+	// without per-tier accounting it is derived from the controller's
+	// fast-hit split (exact for two tiers, zero beyond them).
+	DemandAccesses uint64
+	// Occupancy is the resident fraction of the tier's OS home range,
+	// when the whole stack is OS-visible (0 otherwise).
+	Occupancy float64
+	// EnergyNJ is the tier's energy over the run per its configured
+	// power profile; Utilization is its busy fraction of peak bandwidth.
+	EnergyNJ    float64
+	Utilization float64
+	// Device is the backing device's full counter snapshot (row hits
+	// for DRAM, wear counters for NVM, link waits for CXL, ...).
+	Device stats.Snapshot
+}
+
 // Result summarises a simulation run.
 type Result struct {
 	Policy string
@@ -57,8 +79,13 @@ type Result struct {
 
 	Ctrl policy.Stats
 	OS   osmodel.Stats
+	// Fast and Slow are the first two tiers' DRAM statistics, zero when
+	// a tier is backed by a non-DRAM device (see Tiers for the
+	// device-agnostic view).
 	Fast dram.Stats
 	Slow dram.Stats
+	// Tiers holds per-tier statistics in stack order (nearest first).
+	Tiers []TierResult
 	// Levels holds per-cache-level statistics in hierarchy order (the
 	// last entry is the LLC).
 	Levels []LevelResult
@@ -194,8 +221,9 @@ func (s *System) prefault(ctx context.Context) error {
 
 func (s *System) resetStats() {
 	s.ctrl.ResetStats()
-	s.fast.ResetStats()
-	s.slow.ResetStats()
+	for _, t := range s.tiers {
+		t.Dev.ResetStats()
+	}
 	s.hier.ResetStats()
 	s.os.ResetStats()
 	c := &s.cores
@@ -463,8 +491,12 @@ func (s *System) collect(start, instr0, faults0 []uint64) *Result {
 		Workload: s.runName,
 		Ctrl:     s.ctrl.Stats(),
 		OS:       s.os.Stats(),
-		Fast:     s.fast.Stats(),
-		Slow:     s.slow.Stats(),
+	}
+	if s.fast != nil {
+		r.Fast = s.fast.Stats()
+	}
+	if s.slow != nil {
+		r.Slow = s.slow.Stats()
 	}
 	for i := 0; i < s.hier.NumLevels(); i++ {
 		r.Levels = append(r.Levels, LevelResult{Level: s.hier.LevelName(i), Stats: s.hier.LevelStats(i)})
@@ -513,5 +545,47 @@ func (s *System) collect(start, instr0, faults0 []uint64) *Result {
 		r.NUMATimeline = s.auto.Timeline()
 	}
 	r.Timeline = s.timeline
+	s.collectTiers(r)
 	return r
+}
+
+// collectTiers fills the per-tier result namespaces: demand split,
+// occupancy of each tier's OS home range (when the whole stack is
+// OS-visible), energy per the tier's power profile, bandwidth
+// utilisation, and the raw device snapshot.
+func (s *System) collectTiers(r *Result) {
+	var tierAcc []uint64
+	if ta, ok := s.ctrl.(policy.TierAccounting); ok {
+		tierAcc = ta.TierAccesses()
+	}
+	var stackBytes uint64
+	for _, t := range s.tiers {
+		stackBytes += t.Capacity()
+	}
+	osSeesStack := s.ctrl.OSVisibleBytes() == stackBytes
+	var base uint64
+	for i, t := range s.tiers {
+		tr := TierResult{
+			Tier:          t.Name(),
+			Kind:          t.Kind,
+			CapacityBytes: t.Capacity(),
+			EnergyNJ:      t.Energy(r.MaxCycles).TotalNJ(),
+			Utilization:   t.Dev.BusyFraction(r.MaxCycles),
+			Device:        t.Dev.Snapshot(),
+		}
+		switch {
+		case tierAcc != nil && i < len(tierAcc):
+			tr.DemandAccesses = tierAcc[i]
+		case i == 0:
+			tr.DemandAccesses = r.Ctrl.FastHits
+		case i == 1:
+			tr.DemandAccesses = r.Ctrl.Accesses - r.Ctrl.FastHits
+		}
+		if osSeesStack && t.Capacity() > 0 {
+			resident := s.os.ResidentBytesIn(base, base+t.Capacity())
+			tr.Occupancy = float64(resident) / float64(t.Capacity())
+		}
+		base += t.Capacity()
+		r.Tiers = append(r.Tiers, tr)
+	}
 }

@@ -20,6 +20,7 @@ import (
 	"chameleon/internal/config"
 	"chameleon/internal/dram"
 	"chameleon/internal/hier"
+	"chameleon/internal/memtier"
 	"chameleon/internal/osmodel"
 	"chameleon/internal/policy"
 	"chameleon/internal/trace"
@@ -203,6 +204,10 @@ func (c *coreSoA) n() int { return len(c.time) }
 type System struct {
 	opts  Options
 	cfg   config.Config
+	tiers []*memtier.Tier
+	// fast and slow alias the first two tiers' DRAM devices (nil when a
+	// tier is NVM/CXL-backed); they feed the legacy Result.Fast/Slow
+	// fields and the sequential engine's fast paths.
 	fast  *dram.Device
 	slow  *dram.Device
 	ctrl  policy.Controller
@@ -317,24 +322,30 @@ func New(opts Options) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	fastCfg := cfg.Fast
-	slowCfg := cfg.Slow
+	if cfg.NumTiers() < desc.RequiredTiers() {
+		return nil, fmt.Errorf("sim: policy %q needs %d memory tiers, config has %d",
+			opts.Policy, desc.RequiredTiers(), cfg.NumTiers())
+	}
+	tierCfgs := config.CloneTiers(cfg.MemoryTiers)
 	if desc.RequiresBaseline {
 		if opts.BaselineBytes == 0 {
 			return nil, fmt.Errorf("sim: policy %q requires BaselineBytes", opts.Policy)
 		}
-		slowCfg.CapacityBytes = opts.BaselineBytes
+		tierCfgs[1].SetCapacity(opts.BaselineBytes)
 	}
-	if s.fast, err = dram.New(fastCfg, cfg.CPU.FreqHz); err != nil {
+	if s.tiers, err = memtier.BuildStack(tierCfgs, cfg.CPU.FreqHz); err != nil {
 		return nil, err
 	}
-	if s.slow, err = dram.New(slowCfg, cfg.CPU.FreqHz); err != nil {
-		return nil, err
+	s.fast, s.slow = s.tiers[0].DRAM(), s.tiers[1].DRAM()
+	tms := make([]policy.TierMem, len(s.tiers))
+	for i, t := range s.tiers {
+		tms[i] = policy.TierMem{Name: t.Name(), Kind: t.Kind, CapacityBytes: t.Capacity(), Mem: t.Dev}
 	}
 	if s.ctrl, err = desc.Build(policy.BuildContext{
 		Config:        cfg,
-		Fast:          s.fast,
-		Slow:          s.slow,
+		Tiers:         tms,
+		Fast:          tms[0].Mem,
+		Slow:          tms[1].Mem,
 		BaselineBytes: opts.BaselineBytes,
 	}); err != nil {
 		return nil, err
@@ -355,19 +366,29 @@ func New(opts Options) (*System, error) {
 		Seed:            opts.Seed + 1,
 	}
 	if desc.OSManaged {
-		osCfg.FastBytes = cfg.Fast.CapacityBytes
+		osCfg.FastBytes = cfg.TierCapacity(0)
 		osCfg.Alloc = osmodel.AllocFirstTouch
 		if opts.AutoNUMA != nil {
 			// See osmodel.AllocSlowFirst: the stacked node must retain
 			// free frames for the migration race of Figure 2c.
 			osCfg.Alloc = osmodel.AllocSlowFirst
 		}
+		if cfg.NumTiers() > 2 {
+			// Deeper stacks expose every tier as its own NUMA node (the
+			// two-tier case keeps the FastBytes spelling so the classic
+			// engine stays bit-identical).
+			nodes := make([]uint64, cfg.NumTiers())
+			for i := range nodes {
+				nodes[i] = cfg.TierCapacity(i)
+			}
+			osCfg.NodeBytes = nodes
+		}
 	}
 	if opts.Alloc != nil {
 		osCfg.Alloc = *opts.Alloc
 	}
 	if osCfg.Alloc == osmodel.AllocGroupAware {
-		sp, err := addr.NewSpace(cfg.Fast.CapacityBytes, cfg.Slow.CapacityBytes, uint64(cfg.MemSys.SegmentBytes))
+		sp, err := addr.NewSpace(cfg.TierCapacity(0), cfg.TierCapacity(1), uint64(cfg.MemSys.SegmentBytes))
 		if err != nil {
 			return nil, err
 		}
@@ -479,18 +500,28 @@ func (a isaAdapter) ISAFree(now uint64, seg addr.Seg)  { a.c.ISAFree(now, seg) }
 // Controller exposes the memory-system controller (for tests).
 func (s *System) Controller() policy.Controller { return s.ctrl }
 
-// DeviceEnergy estimates both DRAM devices' energy over the given
-// number of elapsed CPU cycles using the default HBM/DDR power
-// parameters.
+// DeviceEnergy estimates the first two tiers' energy over the given
+// number of elapsed CPU cycles using each tier's configured power
+// profile (which defaults to the classic HBM/DDR parameters for a
+// two-DRAM stack).
 func (s *System) DeviceEnergy(elapsedCycles uint64) (fast, slow dram.EnergyReport) {
-	return s.fast.Energy(dram.DefaultStackedPower(), elapsedCycles),
-		s.slow.Energy(dram.DefaultOffChipPower(), elapsedCycles)
+	return s.tiers[0].Energy(elapsedCycles), s.tiers[1].Energy(elapsedCycles)
 }
 
-// DeviceUtilisation returns the fraction of peak bandwidth each device
-// sustained over the given elapsed cycles.
+// DeviceUtilisation returns the fraction of peak bandwidth the first
+// two tiers sustained over the given elapsed cycles.
 func (s *System) DeviceUtilisation(elapsedCycles uint64) (fast, slow float64) {
-	return s.fast.BusyFraction(elapsedCycles), s.slow.BusyFraction(elapsedCycles)
+	return s.tiers[0].Dev.BusyFraction(elapsedCycles), s.tiers[1].Dev.BusyFraction(elapsedCycles)
+}
+
+// Tiers exposes the built memory stack (nearest first) for per-tier
+// reporting.
+func (s *System) Tiers() []*memtier.Tier { return s.tiers }
+
+// TierEnergy reports tier i's energy over the elapsed window using its
+// configured power profile.
+func (s *System) TierEnergy(i int, elapsedCycles uint64) dram.EnergyReport {
+	return s.tiers[i].Energy(elapsedCycles)
 }
 
 // OS exposes the operating-system model (for tests and experiments).

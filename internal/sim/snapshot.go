@@ -32,6 +32,15 @@ func (r *Result) Snapshot() stats.Snapshot {
 	s.Merge("os", r.OS.Snapshot())
 	s.Merge("dram_fast", r.Fast.Snapshot())
 	s.Merge("dram_slow", r.Slow.Snapshot())
+	for _, t := range r.Tiers {
+		ns := "mem_" + strings.ToLower(t.Tier)
+		s.Merge(ns, t.Device)
+		s[ns+".capacity_bytes"] = float64(t.CapacityBytes)
+		s[ns+".demand_accesses"] = float64(t.DemandAccesses)
+		s[ns+".occupancy"] = t.Occupancy
+		s[ns+".energy_nj"] = t.EnergyNJ
+		s[ns+".utilization"] = t.Utilization
+	}
 	for _, lv := range r.Levels {
 		s.Merge(strings.ToLower(lv.Level), lv.Snapshot())
 	}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"chameleon/internal/config"
+	"chameleon/internal/policy"
+	"chameleon/internal/workload"
+)
+
+// TestLegacyTierConfigEquivalence is the refactor's compatibility gate:
+// a machine described by the legacy Fast/Slow JSON pair and the same
+// machine described by its memory_tiers rewrite must produce DeepEqual
+// results for every registered policy, sequentially and under the
+// parallel engine. Policies that need a deeper stack get the same NVM
+// tier appended to both spellings.
+func TestLegacyTierConfigEquivalence(t *testing.T) {
+	const scale = 512
+	legacyDoc := []byte(`{
+		"Fast": {"CapacityBytes": 16777216},
+		"Slow": {"CapacityBytes": 50331648}
+	}`)
+	prof, err := workload.ByName("bwaves")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(t *testing.T, cfg config.Config, name string, threads int) *Result {
+		t.Helper()
+		opts := Options{
+			Config:             cfg,
+			Policy:             PolicyKind(name),
+			Workload:           prof.Scale(scale),
+			Seed:               17,
+			WarmupInstructions: 50_000,
+			Threads:            threads,
+		}
+		desc, err := policy.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for opts.Config.NumTiers() < desc.RequiredTiers() {
+			opts.Config = opts.Config.WithNVMTier(32 * config.GB / scale)
+		}
+		if desc.RequiresBaseline {
+			opts.BaselineBytes = 24 * config.GB / scale
+		}
+		sys, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(60_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	legacyCfg := config.Default(scale)
+	if err := json.Unmarshal(legacyDoc, &legacyCfg); err != nil {
+		t.Fatal(err)
+	}
+	// The translation: the canonical marshal of the legacy decode.
+	b, err := json.Marshal(legacyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tierCfg config.Config
+	if err := json.Unmarshal(b, &tierCfg); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range policy.Names() {
+		t.Run(name, func(t *testing.T) {
+			want := run(t, legacyCfg, name, 1)
+			if got := run(t, tierCfg, name, 1); !reflect.DeepEqual(want, got) {
+				t.Errorf("memory_tiers run diverged from legacy Fast/Slow:\nlegacy: %+v\ntiers:  %+v", want, got)
+			}
+			if got := run(t, tierCfg, name, 4); !reflect.DeepEqual(want, got) {
+				t.Errorf("threaded memory_tiers run diverged from legacy Fast/Slow:\nlegacy: %+v\ntiers:  %+v", want, got)
+			}
+		})
+	}
+}
