@@ -41,6 +41,7 @@ import (
 
 	"chameleon/internal/config"
 	"chameleon/internal/dram"
+	"chameleon/internal/dse"
 	"chameleon/internal/experiments"
 	"chameleon/internal/memtrace"
 	"chameleon/internal/osmodel"
@@ -295,6 +296,46 @@ func RunMatrixContext(ctx context.Context, o ExperimentOptions) (*Matrix, error)
 	return experiments.RunMatrixContext(ctx, o)
 }
 
+// Design-space exploration (internal/dse, cmd/chameleon-dse). A
+// DSESpec declares a sweep over the simulator's pluggable axes; the
+// runner evaluates its cross product with bounded concurrency,
+// optional dominance pruning, and extracts the Pareto front over the
+// configured objectives.
+type (
+	// DSESpec is a declarative design-space sweep.
+	DSESpec = dse.Spec
+	// DSEObjective names one optimisation axis (snapshot key + sense).
+	DSEObjective = dse.Objective
+	// DSECell is one expanded configuration of a sweep.
+	DSECell = dse.Cell
+	// DSEPoint is one evaluated cell with its objective vector and
+	// provenance.
+	DSEPoint = dse.Point
+	// DSEResult is a sweep's outcome: Pareto front, evaluated points,
+	// and cell accounting.
+	DSEResult = dse.Result
+)
+
+// Objective senses and derived objective keys for DSESpec.Objectives.
+const (
+	DSESenseMax         = dse.SenseMax
+	DSESenseMin         = dse.SenseMin
+	DSETotalCapacityKey = dse.KeyTotalCapacity
+	DSETotalEnergyKey   = dse.KeyTotalEnergy
+)
+
+// DefaultDSEObjectives is the paper-shaped front: IPC up, provisioned
+// capacity down, memory energy down.
+func DefaultDSEObjectives() []DSEObjective { return dse.DefaultObjectives() }
+
+// RunDSE executes a design-space sweep in-process and returns its
+// Pareto front. ExperimentOptions seed any sweep axis the spec leaves
+// empty; submit a KindDSE JobSpec to a Server instead to key every
+// cell into the content-addressed result cache.
+func RunDSE(ctx context.Context, o ExperimentOptions, spec DSESpec) (*DSEResult, error) {
+	return experiments.RunDSE(ctx, o, spec)
+}
+
 // Simulation-as-a-service (cmd/chamd). Server hosts the simulator
 // behind an HTTP JSON API with a bounded worker pool, per-job
 // deadlines, a content-addressed result cache and expvar metrics;
@@ -329,6 +370,13 @@ const (
 	JobDone     = server.StateDone
 	JobFailed   = server.StateFailed
 	JobCanceled = server.StateCanceled
+)
+
+// Job kinds for JobSpec.Kind.
+const (
+	JobKindSim    = server.KindSim
+	JobKindMatrix = server.KindMatrix
+	JobKindDSE    = server.KindDSE
 )
 
 // NewServer builds and starts an embeddable simulation service; serve

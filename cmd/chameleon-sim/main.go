@@ -11,6 +11,9 @@
 // -config overlays a JSON configuration document on the scaled default
 // machine; use a "CacheLevels" array to run a different cache hierarchy
 // (2-level, 4-level, ...) — see README.md for examples.
+//
+// -list prints the registered policies (with their descriptor flags)
+// and the workload catalogue, then exits.
 package main
 
 import (
@@ -19,10 +22,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"text/tabwriter"
 
 	"chameleon"
 	"chameleon/internal/config"
 	"chameleon/internal/osmodel"
+	"chameleon/internal/policy"
+	"chameleon/internal/workload"
 )
 
 func main() {
@@ -44,8 +50,14 @@ func main() {
 		configPath = flag.String("config", "", "JSON config overlay (e.g. a CacheLevels hierarchy) applied to the scaled default")
 		record     = flag.String("record", "", "tee the run's reference stream to this binary trace file (replay with -workload replay:<file>)")
 		threads    = flag.Int("threads", 1, "worker threads for the parallel engine (results are identical at any count)")
+		list       = flag.Bool("list", false, "print the registered policies (with their descriptors) and workload names, then exit")
 	)
 	flag.Parse()
+
+	if *list {
+		printCatalogue()
+		return
+	}
 
 	if err := run(runCfg{
 		policyName: *policyName, wlName: *wlName, scale: *scale,
@@ -58,6 +70,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chameleon-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// printCatalogue lists every registered memory-system design with its
+// descriptor flags, then the workload catalogue — the same axes a DSE
+// sweep enumerates (see chameleon-dse).
+func printCatalogue() {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "POLICY\tTIERS\tISA\tBASELINE\tOS-MANAGED")
+	for _, name := range policy.Names() {
+		d, err := policy.Lookup(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t>=%d\t%s\t%s\t%s\n", name, d.RequiredTiers(),
+			yn(d.NeedsISA), yn(d.RequiresBaseline), yn(d.OSManaged))
+	}
+	tw.Flush()
+	fmt.Printf("\nworkloads: %s\n", strings.Join(workload.Names(), ", "))
+	fmt.Println("          (or replay:<file>.ctrace to replay a recorded trace)")
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "-"
 }
 
 type runCfg struct {

@@ -1,0 +1,239 @@
+package dse
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"chameleon/internal/sim"
+)
+
+// pruneWaveSize is the fixed cell count between pruning decisions.
+// Decisions happen at wave boundaries on the full index-ordered result
+// set, never on completion order — and the wave size is a constant,
+// not the concurrency bound — so a pruned sweep's outcome is identical
+// at any RunOptions.Parallelism.
+const pruneWaveSize = 32
+
+// Eval is one cell's evaluation: the simulation result plus
+// provenance (the cell's content hash and whether it came from the
+// result cache).
+type Eval struct {
+	Result *sim.Result
+	Hash   string
+	Cached bool
+}
+
+// RunOptions configure one sweep execution.
+type RunOptions struct {
+	// Parallelism bounds concurrently evaluating cells (default
+	// GOMAXPROCS).
+	Parallelism int
+	// Progress, when non-nil, is called after every cell resolves with
+	// the running counts (done includes cached; pruned cells skip
+	// evaluation entirely). Calls are serialized.
+	Progress func(done, cached, pruned, total int)
+	// Evaluate produces one cell's simulation result. It must be safe
+	// for concurrent calls. Returning an error fails the sweep (all
+	// errors of the failing wave are joined, like the matrix runner).
+	Evaluate func(ctx context.Context, c Cell) (Eval, error)
+}
+
+// Result is a sweep's structured outcome: the Pareto front plus every
+// evaluated point (with per-cell provenance hashes) and the sweep's
+// accounting. Front and Points are in cell-index order, so the
+// marshaled JSON is deterministic; FrontSignature strips the
+// cache/hash provenance for byte-level front comparisons.
+type Result struct {
+	Objectives []Objective `json:"objectives"`
+	TotalCells int         `json:"total_cells"`
+	Evaluated  int         `json:"evaluated"`
+	Cached     int         `json:"cached"`
+	Pruned     int         `json:"pruned"`
+	Dominated  int         `json:"dominated"`
+	Front      []Point     `json:"front"`
+	Points     []Point     `json:"points"`
+}
+
+// FrontSignature renders the front's design-space content — cells and
+// objective vectors, without cache/hash provenance — as deterministic
+// JSON. Two executions of the same sweep must agree on it byte for
+// byte whatever their concurrency, per-cell thread count, or cache
+// temperature; pruned execution agrees with full enumeration on
+// sweeps where the heuristic only discards dominated regions.
+func (r *Result) FrontSignature() string {
+	type sig struct {
+		Cell   Cell      `json:"cell"`
+		Values []float64 `json:"values"`
+	}
+	sigs := make([]sig, len(r.Front))
+	for i, p := range r.Front {
+		sigs[i] = sig{Cell: p.Cell, Values: p.Values}
+	}
+	b, err := json.Marshal(sigs)
+	if err != nil {
+		// Plain data; Marshal cannot fail.
+		panic(fmt.Sprintf("dse: marshal front signature: %v", err))
+	}
+	return string(b)
+}
+
+// Run expands the sweep and evaluates it with bounded concurrency.
+// With Spec.PruneAfter set, cells run in fixed-size index-ordered
+// waves and the per-axis pruning heuristic may condemn axis values
+// between waves, skipping their remaining cells without simulation.
+// The spec is normalized first; ctx cancellation aborts between waves
+// and fails the sweep with the context error.
+func (s Spec) Run(ctx context.Context, ro RunOptions) (*Result, error) {
+	s, err := s.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	cells, err := s.Expand()
+	if err != nil {
+		return nil, err
+	}
+	par := ro.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if ro.Evaluate == nil {
+		return nil, errors.New("dse: RunOptions.Evaluate is required")
+	}
+	waveSize := len(cells)
+	if s.PruneAfter > 0 {
+		waveSize = pruneWaveSize
+	}
+
+	points := make([]*Point, len(cells)) // by cell index; nil = pruned
+	res := &Result{Objectives: s.Objectives, TotalCells: len(cells)}
+	var mu sync.Mutex // guards the progress counters
+	done, cached, pruned := 0, 0, 0
+	progress := func() {
+		if ro.Progress != nil {
+			ro.Progress(done, cached, pruned, len(cells))
+		}
+	}
+
+	condemned := map[string]bool{} // "axis=value" pairs pruned out
+	isPruned := func(c Cell) bool {
+		for _, ax := range axisNames {
+			if condemned[ax+"="+axisValue(c, ax)] {
+				return true
+			}
+		}
+		return false
+	}
+
+	sem := make(chan struct{}, par)
+	next := 0
+	for next < len(cells) {
+		// Assemble the next wave in cell-index order, discarding cells a
+		// previous wave's prune decision condemned.
+		wave := make([]int, 0, waveSize)
+		for next < len(cells) && len(wave) < waveSize {
+			c := cells[next]
+			if s.PruneAfter > 0 && isPruned(c) {
+				mu.Lock()
+				pruned++
+				progress()
+				mu.Unlock()
+			} else {
+				wave = append(wave, next)
+			}
+			next++
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dse: sweep canceled after %d of %d cells: %w", done, len(cells), err)
+		}
+		var wg sync.WaitGroup
+		errc := make([]error, len(wave))
+		for wi, ci := range wave {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(wi, ci int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				ev, err := ro.Evaluate(ctx, cells[ci])
+				if err != nil {
+					errc[wi] = fmt.Errorf("%s/%s (cell %d): %w", cells[ci].Policy, cells[ci].Workload, ci, err)
+					return
+				}
+				vals, err := Values(ev.Result.Snapshot(), s.Objectives)
+				if err != nil {
+					errc[wi] = fmt.Errorf("%s/%s (cell %d): %w", cells[ci].Policy, cells[ci].Workload, ci, err)
+					return
+				}
+				points[ci] = &Point{Cell: cells[ci], Values: vals, Hash: ev.Hash, Cached: ev.Cached}
+				mu.Lock()
+				done++
+				if ev.Cached {
+					cached++
+				}
+				progress()
+				mu.Unlock()
+			}(wi, ci)
+		}
+		wg.Wait()
+		if err := errors.Join(errc...); err != nil {
+			return nil, err
+		}
+		if s.PruneAfter > 0 {
+			s.updateCondemned(points, condemned)
+		}
+	}
+
+	res.Evaluated, res.Cached, res.Pruned = done, cached, pruned
+	for _, p := range points {
+		if p != nil {
+			res.Points = append(res.Points, *p)
+		}
+	}
+	res.Front, res.Dominated = Front(res.Points, s.Objectives)
+	return res, nil
+}
+
+// updateCondemned recomputes the per-axis pruning decision over every
+// evaluated point so far: an axis value is condemned once it has at
+// least PruneAfter evaluated cells, every one of them strictly
+// dominated by some evaluated cell, and none on the running front.
+// The computation reads the full index-ordered point set, never the
+// completion order, so it is deterministic at any concurrency.
+func (s Spec) updateCondemned(points []*Point, condemned map[string]bool) {
+	eval := make([]Point, 0, len(points))
+	for _, p := range points {
+		if p != nil {
+			eval = append(eval, *p)
+		}
+	}
+	dominatedByAny := make([]bool, len(eval))
+	for i := range eval {
+		for k := range eval {
+			if k != i && Dominates(eval[k].Values, eval[i].Values, s.Objectives) {
+				dominatedByAny[i] = true
+				break
+			}
+		}
+	}
+	type tally struct{ total, dominated int }
+	counts := map[string]tally{}
+	for i, p := range eval {
+		for _, ax := range axisNames {
+			key := ax + "=" + axisValue(p.Cell, ax)
+			t := counts[key]
+			t.total++
+			if dominatedByAny[i] {
+				t.dominated++
+			}
+			counts[key] = t
+		}
+	}
+	for key, t := range counts {
+		if t.total >= s.PruneAfter && t.dominated == t.total {
+			condemned[key] = true
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"chameleon/internal/dse"
+)
+
+func TestRunDSE(t *testing.T) {
+	o := Options{
+		Scale:        1024,
+		Instructions: 2_000,
+		Warmup:       1,
+		Seed:         3,
+		Parallelism:  4,
+	}
+	spec := dse.Spec{
+		Policies:  []string{"chameleon-opt", "flat"},
+		Workloads: []string{"bwaves", "mcf"},
+	}
+	res, err := RunDSE(context.Background(), o, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCells != 4 || res.Evaluated != 4 {
+		t.Fatalf("evaluated %d/%d cells, want 4/4", res.Evaluated, res.TotalCells)
+	}
+	if len(res.Front) == 0 || len(res.Front)+res.Dominated != len(res.Points) {
+		t.Fatalf("front %d + dominated %d != points %d", len(res.Front), res.Dominated, len(res.Points))
+	}
+	// Options.Seed seeded the seed axis.
+	for _, p := range res.Points {
+		if p.Cell.Seed != 3 {
+			t.Fatalf("cell %d ran seed %d, want the Options seed 3", p.Cell.Index, p.Cell.Seed)
+		}
+	}
+	// Flat requires a baseline; a zero-capacity flat run would report
+	// zero capacity and dominate on that axis spuriously.
+	for i, o := range res.Objectives {
+		if o.Key == dse.KeyTotalCapacity {
+			for _, p := range res.Points {
+				if p.Values[i] <= 0 {
+					t.Fatalf("cell %d (%s) reports non-positive total capacity %v", p.Cell.Index, p.Cell.Policy, p.Values[i])
+				}
+			}
+		}
+	}
+}

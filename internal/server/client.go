@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"chameleon/internal/cluster"
+	"chameleon/internal/dse"
 	"chameleon/internal/sim"
 )
 
@@ -291,6 +292,15 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
 }
 
+// DSEResult fetches and decodes a done DSE job's sweep result.
+func (c *Client) DSEResult(ctx context.Context, id string) (*dse.Result, error) {
+	var r dse.Result
+	if err := c.Result(ctx, id, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
 // Workloads lists the server's workload catalogue.
 func (c *Client) Workloads(ctx context.Context) ([]WorkloadInfo, error) {
 	var resp struct {
@@ -298,6 +308,16 @@ func (c *Client) Workloads(ctx context.Context) ([]WorkloadInfo, error) {
 	}
 	err := c.do(ctx, http.MethodGet, "/v1/workloads", nil, &resp)
 	return resp.Workloads, err
+}
+
+// Policies lists the server's registered policy designs with their
+// descriptor flags.
+func (c *Client) Policies(ctx context.Context) ([]PolicyInfo, error) {
+	var resp struct {
+		Policies []PolicyInfo `json:"policies"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/policies", nil, &resp)
+	return resp.Policies, err
 }
 
 // ClusterMembers reports the server's cluster view (empty error with

@@ -3,10 +3,12 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"time"
 
 	"chameleon/internal/cluster"
+	"chameleon/internal/policy"
 	"chameleon/internal/workload"
 )
 
@@ -18,8 +20,13 @@ import (
 //	GET    /v1/jobs/{id}/result  result JSON of a done job
 //	DELETE /v1/jobs/{id}     cancel a queued or running job
 //	GET    /v1/workloads     Table II workload catalogue
+//	GET    /v1/policies      registered policy designs + descriptor flags
 //	GET    /healthz          liveness
 //	GET    /debug/vars       expvar metrics
+//
+// /v1/workloads and /v1/policies together enumerate the valid axis
+// values for sim, matrix, and dse specs, so clients can build sweeps
+// without guessing names.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -28,6 +35,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /debug/vars", s.metrics)
 	if s.cl != nil {
@@ -53,11 +61,23 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, apiError{Error: err.Error()})
 }
 
+// maxSubmitBytes bounds a submission body. DSE sweeps carry explicit
+// cache-hierarchy and memory-tier variant lists, so the limit is well
+// above the 1 MiB that sufficed for sim/matrix specs; an oversized
+// body gets an explicit 413, not a bare decode failure.
+const maxSubmitBytes = 8 << 20
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes; split the sweep or drop redundant variants", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -160,6 +180,38 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Workloads []WorkloadInfo `json:"workloads"`
+	}{infos})
+}
+
+// PolicyInfo describes one registered policy design on the wire:
+// its name plus the descriptor flags a client needs to build valid
+// specs (minimum memory-tier depth, ISA support, baseline capacity).
+type PolicyInfo struct {
+	Name             string `json:"name"`
+	RequiredTiers    int    `json:"required_tiers"`
+	NeedsISA         bool   `json:"needs_isa,omitempty"`
+	RequiresBaseline bool   `json:"requires_baseline,omitempty"`
+	OSManaged        bool   `json:"os_managed,omitempty"`
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, _ *http.Request) {
+	names := policy.Names()
+	infos := make([]PolicyInfo, 0, len(names))
+	for _, n := range names {
+		desc, err := policy.Lookup(n)
+		if err != nil {
+			continue // listed names always resolve
+		}
+		infos = append(infos, PolicyInfo{
+			Name:             n,
+			RequiredTiers:    desc.RequiredTiers(),
+			NeedsISA:         desc.NeedsISA,
+			RequiresBaseline: desc.RequiresBaseline,
+			OSManaged:        desc.OSManaged,
+		})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Policies []PolicyInfo `json:"policies"`
 	}{infos})
 }
 

@@ -43,9 +43,14 @@ type Progress struct {
 	Cycle             uint64  `json:"cycle,omitempty"`
 	StackedHitRate    float64 `json:"stacked_hit_rate,omitempty"`
 	CacheModeFraction float64 `json:"cache_mode_fraction,omitempty"`
-	// Matrix jobs: completed cells out of the total.
+	// Matrix and DSE jobs: completed cells out of the total.
 	DoneCells  int `json:"done_cells,omitempty"`
 	TotalCells int `json:"total_cells,omitempty"`
+	// DSE jobs only: cells served from the content-addressed cache and
+	// cells skipped by dominance pruning (both subsets of the total;
+	// cached cells also count as done).
+	CachedCells int `json:"cached_cells,omitempty"`
+	PrunedCells int `json:"pruned_cells,omitempty"`
 }
 
 // JobStatus is the wire-format snapshot of a job. Node names the
@@ -231,6 +236,16 @@ func (j *Job) setSimProgress(p sim.TimelinePoint) {
 func (j *Job) setMatrixProgress(done, total int) {
 	j.mu.Lock()
 	j.progress.DoneCells = done
+	j.progress.TotalCells = total
+	j.mu.Unlock()
+}
+
+// setDSEProgress records a sweep's live cell accounting.
+func (j *Job) setDSEProgress(done, cached, pruned, total int) {
+	j.mu.Lock()
+	j.progress.DoneCells = done
+	j.progress.CachedCells = cached
+	j.progress.PrunedCells = pruned
 	j.progress.TotalCells = total
 	j.mu.Unlock()
 }

@@ -34,6 +34,14 @@ type Metrics struct {
 	// spec's request against the worker pool and GOMAXPROCS.
 	SimThreadsEffective expvar.Int
 
+	// DSE sweep counters: cells actually simulated locally, cells
+	// served from the content-addressed cache (local or peer), cells
+	// skipped by dominance pruning, and cells executed on a ring peer.
+	DSECellsSimulated expvar.Int
+	DSECellsCached    expvar.Int
+	DSECellsPruned    expvar.Int
+	DSECellsRemote    expvar.Int
+
 	// Cluster counters (zero on standalone servers).
 	JobsForwarded  expvar.Int // submits proxied to the ring owner
 	JobsRemoteDone expvar.Int // local jobs completed by a peer's execution
@@ -172,6 +180,10 @@ func (m *Metrics) Vars() *expvar.Map {
 		if m.clusterInfo != nil {
 			mp.Set("cluster", expvar.Func(m.clusterInfo))
 		}
+		mp.Set("dse_cells_simulated", &m.DSECellsSimulated)
+		mp.Set("dse_cells_cached", &m.DSECellsCached)
+		mp.Set("dse_cells_pruned", &m.DSECellsPruned)
+		mp.Set("dse_cells_remote", &m.DSECellsRemote)
 		mp.Set("sim_threads_effective", &m.SimThreadsEffective)
 		mp.Set("sim_cycles_total", &m.SimCycles)
 		mp.Set("sim_cycles_per_sec", expvar.Func(func() any { return m.CyclesPerSecond() }))

@@ -285,6 +285,8 @@ func (s *Server) runJob(j *Job) {
 		payload, err = s.runSim(ctx, j)
 	case KindMatrix:
 		payload, err = s.runMatrix(ctx, j)
+	case KindDSE:
+		payload, err = s.runDSE(ctx, j)
 	default:
 		err = fmt.Errorf("unknown job kind %q", j.Spec.Kind)
 	}

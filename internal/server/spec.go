@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"chameleon/internal/config"
+	"chameleon/internal/dse"
 	"chameleon/internal/experiments"
 	"chameleon/internal/memtrace"
 	"chameleon/internal/policy"
@@ -20,7 +21,12 @@ import (
 const (
 	KindSim    = "sim"    // one simulation (policy × workload)
 	KindMatrix = "matrix" // the full evaluation matrix (experiments.RunMatrix)
+	KindDSE    = "dse"    // a design-space sweep with Pareto-front extraction (internal/dse)
 )
+
+// maxDSECells bounds a single DSE job's expansion so one submission
+// cannot enqueue an unbounded amount of simulation.
+const maxDSECells = 16384
 
 // JobSpec is the wire-format description of one job. Zero fields take
 // the library defaults (Scale 256, 500k instructions, 4M warm-up,
@@ -62,6 +68,16 @@ type JobSpec struct {
 	// standard evaluation designs). Each name must be registered.
 	Policies    []string `json:"policies,omitempty"`
 	Parallelism int      `json:"parallelism,omitempty"`
+
+	// DSE fields (Kind == "dse"): the declarative sweep. Shared
+	// parameters below still apply per cell (Instructions, Warmup,
+	// Threads); the sweep's own axes supersede Policy/Workload/Ratio,
+	// and a top-level Scale or Seed seeds the corresponding axis when
+	// the sweep leaves it empty. Every expanded cell is normalized into
+	// a KindSim spec whose hash keys the shared result cache, so repeat
+	// sweeps — and sweeps overlapping earlier sim jobs — are served from
+	// cache.
+	DSE *dse.Spec `json:"dse,omitempty"`
 
 	// Shared simulation parameters.
 	Scale        uint64 `json:"scale,omitempty"`
@@ -188,6 +204,7 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		s.Workloads = nil
 		s.Policies = nil
 		s.Parallelism = 0
+		s.DSE = nil
 	case KindMatrix:
 		if len(s.Workloads) == 0 {
 			s.Workloads = workload.Names()
@@ -209,8 +226,51 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		}
 		s.Policy, s.Workload, s.BaselineGB, s.Ratio, s.TimelineEpochCycles = "", "", 0, 0, 0
 		s.TracePath, s.TraceSHA256 = "", ""
+		s.DSE = nil
+	case KindDSE:
+		if s.DSE == nil {
+			return s, fmt.Errorf("dse job requires a dse sweep spec (see README \"Asking design questions\")")
+		}
+		// A top-level Scale/Seed seeds the matching sweep axis, then both
+		// reset to their defaults: the sweep's axes are the only canonical
+		// spelling, so {scale: 512} and {dse: {scales: [512]}} hash equal.
+		d := *s.DSE
+		if len(d.Scales) == 0 {
+			d.Scales = []uint64{s.Scale}
+		}
+		if len(d.Seeds) == 0 {
+			d.Seeds = []uint64{s.Seed}
+		}
+		// Likewise a top-level hierarchy or tier stack becomes a
+		// single-variant axis.
+		if len(d.CacheLevelVariants) == 0 && len(s.CacheLevels) > 0 {
+			d.CacheLevelVariants = [][]config.CacheLevelConfig{s.CacheLevels}
+		}
+		if len(d.MemoryTierVariants) == 0 && len(s.MemoryTiers) > 0 {
+			d.MemoryTierVariants = [][]config.MemTierConfig{config.CloneTiers(s.MemoryTiers)}
+		}
+		d, err := d.Normalize()
+		if err != nil {
+			return s, err
+		}
+		cells, err := d.Expand()
+		if err != nil {
+			return s, err
+		}
+		if len(cells) > maxDSECells {
+			return s, fmt.Errorf("dse sweep expands to %d cells, above the per-job cap of %d (split the sweep)", len(cells), maxDSECells)
+		}
+		s.DSE = &d
+		s.Scale, s.Seed = 256, 42
+		if s.Parallelism < 0 {
+			s.Parallelism = 0
+		}
+		s.Policy, s.Workload, s.BaselineGB, s.Ratio, s.TimelineEpochCycles = "", "", 0, 0, 0
+		s.TracePath, s.TraceSHA256 = "", ""
+		s.Workloads, s.Policies = nil, nil
+		s.CacheLevels, s.MemoryTiers = nil, nil
 	default:
-		return s, fmt.Errorf("unknown job kind %q (sim or matrix)", s.Kind)
+		return s, fmt.Errorf("unknown job kind %q (sim, matrix or dse)", s.Kind)
 	}
 	return s, nil
 }

@@ -102,6 +102,30 @@ curl -sf "$B/v1/jobs/$JOB_B" | grep -q '"cached": true' ||
   fail "second submission via B was not served from the cluster cache"
 echo "ok: B served the result cached (no second simulation)"
 
+echo "== dse check: sweep shards across the ring, cells reused on resubmit"
+# 4-cell design sweep (2 policies x 1 workload x 2 seeds). The ring
+# routes each cell to its owner; a resubmission with different
+# objectives has a new sweep hash but identical cell hashes, so every
+# cell must come back from the cluster result cache.
+dse_spec() { # objectives-json
+  printf '{"kind":"dse","scale":1024,"instructions":5000,"warmup":1,"dse":{"policies":["chameleon-opt","alloy"],"workloads":["bwaves"],"seeds":[5,6],"objectives":%s}}' "$1"
+}
+DSE_1="$(dse_spec '[{"key":"ipc_geomean","sense":"max"},{"key":"total_energy_nj","sense":"min"}]')"
+DSE_2="$(dse_spec '[{"key":"ipc_geomean","sense":"max"},{"key":"amat_cycles","sense":"min"}]')"
+
+JOB_D1="$(submit "$A" "$DSE_1")"
+[ -n "$JOB_D1" ] || fail "dse submit via A returned no job id"
+wait_done "$A" "$JOB_D1" 600 || fail "dse job via A did not complete"
+curl -sf "$A/v1/jobs/$JOB_D1/result" | grep -q '"total_cells":4' ||
+  fail "dse job did not evaluate 4 cells"
+
+JOB_D2="$(submit "$B" "$DSE_2")"
+[ -n "$JOB_D2" ] || fail "dse re-submit via B returned no job id"
+wait_done "$B" "$JOB_D2" 600 || fail "second dse job via B did not complete"
+curl -sf "$B/v1/jobs/$JOB_D2/result" | grep -q '"cached":4' ||
+  fail "second dse sweep did not serve all 4 cells from the cluster cache"
+echo "ok: dse sweep ran; changed-objectives resubmit reused every cell"
+
 echo "== failover check: kill node C with jobs in flight"
 JOBS=()
 for seed in 101 102 103 104 105 106 107 108; do
