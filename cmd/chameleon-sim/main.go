@@ -205,6 +205,11 @@ func run(rc runCfg) error {
 	}
 
 	fmt.Printf("policy            %s\n", res.Policy)
+	if res.FallbackReason != "" {
+		fmt.Printf("engine            %s (fallback: %s)\n", res.Engine, res.FallbackReason)
+	} else {
+		fmt.Printf("engine            %s\n", res.Engine)
+	}
 	fmt.Printf("workload          %s (x%d cores)\n", res.Workload, len(res.Cores))
 	fmt.Printf("geomean IPC       %.4f\n", res.GeoMeanIPC)
 	fmt.Printf("stacked hit rate  %.2f%%\n", res.StackedHitRate*100)

@@ -57,10 +57,13 @@ type Options struct {
 	Parallelism int
 	// Threads is the per-simulation worker-thread count handed to
 	// sim.Options.Threads (0 or 1 = sequential). Results are identical
-	// at any value; only wall-clock time changes. The matrix clamps it
-	// so Parallelism × Threads never oversubscribes GOMAXPROCS —
-	// cell-level parallelism is the better lever while many cells are
-	// in flight, intra-run threads soak up what remains.
+	// at any value; only wall-clock time changes — the parallel engine
+	// now covers timeline sampling, trace capture and evicting
+	// footprints, and each sim.Result reports the engine that ran it
+	// in Result.Engine. The matrix clamps the count so Parallelism ×
+	// Threads never oversubscribes GOMAXPROCS — cell-level parallelism
+	// is the better lever while many cells are in flight, intra-run
+	// threads soak up what remains.
 	Threads int
 	// Progress, when non-nil, is called after each matrix cell
 	// finishes with the number of completed cells and the total.

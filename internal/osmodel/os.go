@@ -9,6 +9,7 @@ package osmodel
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"chameleon/internal/addr"
 	"chameleon/internal/rng"
@@ -158,6 +159,16 @@ type OS struct {
 	// access counters for stacked-node hit-rate reporting
 	fastTouches  uint64
 	totalTouches uint64
+
+	// pageGen is the page-table generation: it advances on every
+	// eviction, the only mutation that can invalidate another process's
+	// established translation. Lock-free readers (the parallel engine's
+	// run-ahead path) sample it around TranslateMappedQuiet, seqlock
+	// style, to detect a concurrent eviction; lastVictim records the
+	// frame the most recent eviction reclaimed so the committer can test
+	// run-ahead translations against it.
+	pageGen    atomic.Uint64
+	lastVictim uint32
 }
 
 // New builds the OS model. notifier may be nil (no hardware
@@ -423,6 +434,8 @@ func (o *OS) evict() uint32 {
 		p.resident--
 		m.proc = -1
 		o.stats.Evictions++
+		o.lastVictim = uint32(f)
+		o.pageGen.Add(1)
 		return uint32(f)
 	}
 	panic("osmodel: evict found no resident frame")
@@ -514,6 +527,47 @@ func (o *OS) TranslateMapped(p *Process, vaddr uint64) (phys addr.Phys, onFast, 
 	o.meta[frame].ref = true
 	return addr.Phys(uint64(frame)*o.cfg.PageBytes + vaddr%o.cfg.PageBytes), uint64(frame) < o.fastFrames, true
 }
+
+// TranslateMappedQuiet is TranslateMapped for callers that must not
+// mutate any shared state at all: it resolves the mapping and returns
+// the backing frame but does not set the frame's CLOCK reference bit.
+// The parallel engine's eviction-safe mode uses it so that reference
+// bits — which steer CLOCK victim selection — can be logged per core
+// and replayed by the sequencer in commit order (via MarkReferenced),
+// keeping eviction decisions bit-identical to the sequential engine
+// even while cores run ahead out of order.
+//
+// Concurrency contract: distinct goroutines may call it for distinct
+// processes concurrently with a committer running Translate, provided
+// the committer fences those goroutines out (quiesces them) around any
+// Translate that evicts; PageGen exposes the eviction generation the
+// readers validate, seqlock style.
+func (o *OS) TranslateMappedQuiet(p *Process, vaddr uint64) (phys addr.Phys, frame uint32, onFast, ok bool) {
+	vpage := vaddr / o.cfg.PageBytes
+	if vpage >= uint64(len(p.table)) {
+		return 0, 0, false, false
+	}
+	frame = p.table[vpage]
+	if frame == noFrame {
+		return 0, 0, false, false
+	}
+	return addr.Phys(uint64(frame)*o.cfg.PageBytes + vaddr%o.cfg.PageBytes), frame, uint64(frame) < o.fastFrames, true
+}
+
+// MarkReferenced sets a frame's CLOCK reference bit. It is the
+// sequencer-side replay of the bits TranslateMappedQuiet deliberately
+// did not set; applying the logged bits in commit order reproduces the
+// sequential engine's CLOCK state exactly.
+func (o *OS) MarkReferenced(frame uint32) { o.meta[frame].ref = true }
+
+// PageGen returns the page-table generation counter. It advances on
+// every eviction, so a reader that observes the same generation before
+// and after a lock-free translation knows no eviction raced with it.
+func (o *OS) PageGen() uint64 { return o.pageGen.Load() }
+
+// LastEvictedFrame returns the frame reclaimed by the most recent
+// eviction. Meaningful only when the caller observed PageGen advance.
+func (o *OS) LastEvictedFrame() uint32 { return o.lastVictim }
 
 // AddTouches merges access counts accumulated outside Translate (the
 // per-core tallies of TranslateMapped callers) into the stacked-node

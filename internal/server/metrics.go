@@ -33,6 +33,11 @@ type Metrics struct {
 	// the most recent sim job ran with, after the server clamped the
 	// spec's request against the worker pool and GOMAXPROCS.
 	SimThreadsEffective expvar.Int
+	// ParallelFallbacks counts sim jobs the parallel engine declined,
+	// keyed by sim.Result.FallbackReason (e.g. "alloc-phases",
+	// "autonuma", "eviction-collision"). A healthy fleet keeps this
+	// near zero; growth pinpoints which feature is serializing jobs.
+	ParallelFallbacks expvar.Map
 
 	// DSE sweep counters: cells actually simulated locally, cells
 	// served from the content-addressed cache (local or peer), cells
@@ -87,7 +92,9 @@ func (m *Metrics) SetClusterInfo(fn func() any) { m.clusterInfo = fn }
 
 // NewMetrics returns a zeroed metrics set anchored at now.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now()}
+	m := &Metrics{start: time.Now()}
+	m.ParallelFallbacks.Init()
+	return m
 }
 
 // ObserveQueueWait records one job's time-to-first-worker.
@@ -185,6 +192,7 @@ func (m *Metrics) Vars() *expvar.Map {
 		mp.Set("dse_cells_pruned", &m.DSECellsPruned)
 		mp.Set("dse_cells_remote", &m.DSECellsRemote)
 		mp.Set("sim_threads_effective", &m.SimThreadsEffective)
+		mp.Set("sim_parallel_fallback_total", &m.ParallelFallbacks)
 		mp.Set("sim_cycles_total", &m.SimCycles)
 		mp.Set("sim_cycles_per_sec", expvar.Func(func() any { return m.CyclesPerSecond() }))
 		mp.Set("uptime_seconds", expvar.Func(func() any {

@@ -330,18 +330,25 @@ func (s *Server) runJob(j *Job) {
 	s.reportToOrigin(j, b, nil)
 }
 
-// simThreads clamps a job's requested per-simulation thread count
-// against the worker pool: with Workers jobs potentially running at
-// once, each may use at most GOMAXPROCS/Workers threads before the
-// pool oversubscribes the host (floored at 1, the sequential engine).
+// simThreads resolves a job's per-simulation thread count. Jobs are
+// parallel by default: an unspecified count (0) becomes 2, since the
+// parallel engine now covers timeline sampling, trace capture and
+// evicting footprints, and its batched step loop beats the sequential
+// engine even on a single CPU (see BENCH_parallel.json). An explicit
+// 1 still requests the sequential engine. Larger requests are clamped
+// against the worker pool — with Workers jobs potentially running at
+// once, each may use about GOMAXPROCS/Workers threads before the pool
+// oversubscribes the host — but never below 2, so the algorithmic
+// speedup survives a crowded pool.
 func (s *Server) simThreads(requested int) int {
+	if requested == 0 {
+		requested = 2
+	}
 	if requested <= 1 {
 		return 1
 	}
-	if limit := runtime.GOMAXPROCS(0) / s.opts.Workers; requested > limit {
-		requested = limit
-	}
-	return max(requested, 1)
+	limit := max(runtime.GOMAXPROCS(0)/s.opts.Workers, 2)
+	return min(requested, limit)
 }
 
 // runSim executes a single-simulation job.
@@ -358,8 +365,27 @@ func (s *Server) runSim(ctx context.Context, j *Job) (any, error) {
 		return nil, err
 	}
 	res, err := sys.RunContext(ctx, j.Spec.Instructions)
+	if errors.Is(err, sim.ErrRunAheadCollision) {
+		// A committed eviction reclaimed a frame a run-ahead step had
+		// already translated against. The sim library won't replay on
+		// its own because our Progress callback already fired; the
+		// progress gauge is ours to reset, so rebuild and rerun
+		// sequentially — the result is the bit-exact sequential answer.
+		j.resetProgress()
+		o.Threads = 1
+		if sys, err = sim.New(o); err != nil {
+			return nil, err
+		}
+		if res, err = sys.RunContext(ctx, j.Spec.Instructions); err == nil {
+			res.Engine = sim.EngineSequential
+			res.FallbackReason = sim.FallbackEvictionCollision
+		}
+	}
 	if err != nil {
 		return nil, err
+	}
+	if res.FallbackReason != "" {
+		s.metrics.ParallelFallbacks.Add(res.FallbackReason, 1)
 	}
 	s.metrics.SimCycles.Add(int64(res.MaxCycles))
 	s.metrics.ObserveSim(res)

@@ -88,6 +88,78 @@ func TestSubmitResultMatchesDirectRun(t *testing.T) {
 	}
 }
 
+// TestJobsParallelByDefault: a sim job with timeline sampling — which
+// every chamd job attaches — runs on the parallel engine, both when the
+// spec asks for threads explicitly and when it leaves the count unset
+// (server default 2), and its result is DeepEqual to the same spec run
+// sequentially, up to the Engine provenance fields.
+func TestJobsParallelByDefault(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1})
+
+	// The sequential reference: the same spec run directly at Threads=1.
+	spec, err := fastSpec(11).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := spec.SimOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Threads = 1
+	sys, err := sim.New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sys.Run(spec.Instructions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Engine != sim.EngineSequential {
+		t.Fatalf("reference run engine = %q, want sequential", want.Engine)
+	}
+
+	for _, threads := range []int{0, 8} {
+		spec := fastSpec(11)
+		spec.Threads = threads
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := waitTerminal(t, j, 30*time.Second)
+		if st.State != StateDone {
+			t.Fatalf("threads=%d: state = %s (err %q), want done", threads, st.State, st.Error)
+		}
+		body, err := j.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got sim.Result
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Engine != sim.EngineParallel || got.FallbackReason != "" {
+			t.Fatalf("threads=%d: served engine %q/%q, want parallel", threads, got.Engine, got.FallbackReason)
+		}
+		got.Engine, got.FallbackReason = "", ""
+		w := *want
+		w.Engine, w.FallbackReason = "", ""
+		wb, err := json.Marshal(&w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := json.Marshal(&got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(wb) != string(gb) {
+			t.Errorf("threads=%d: served result diverged from the sequential run:\nseq: %s\npar: %s", threads, wb, gb)
+		}
+	}
+	if v := s.Metrics().Vars().Get("sim_parallel_fallback_total"); v == nil {
+		t.Error("sim_parallel_fallback_total missing from the expvar document")
+	}
+}
+
 func TestDuplicateSubmitHitsCache(t *testing.T) {
 	s := newTestServer(t, Options{Workers: 1})
 	j1, err := s.Submit(fastSpec(4))

@@ -24,18 +24,23 @@ import (
 func BenchmarkStep(b *testing.B) {
 	b.Run("pipeline", func(b *testing.B) { benchStep(b, false) })
 	b.Run("inline", func(b *testing.B) { benchStep(b, true) })
-	b.Run("seq64", func(b *testing.B) { benchStep64(b, 1) })
-	b.Run("par2", func(b *testing.B) { benchStep64(b, 2) })
-	b.Run("par4", func(b *testing.B) { benchStep64(b, 4) })
-	b.Run("par8", func(b *testing.B) { benchStep64(b, 8) })
+	b.Run("seq64", func(b *testing.B) { benchStep64(b, 1, 0) })
+	b.Run("par2", func(b *testing.B) { benchStep64(b, 2, 0) })
+	b.Run("par4", func(b *testing.B) { benchStep64(b, 4, 0) })
+	b.Run("par8", func(b *testing.B) { benchStep64(b, 8, 0) })
+	// The server-shaped run: chamd attaches a timeline to every sim
+	// job, so this is the configuration the service actually executes.
+	b.Run("par8timeline", func(b *testing.B) { benchStep64(b, 8, 10_000) })
 }
 
 // benchStep64 steps a 64-core machine through one measured execute pass
 // per op. The workload is miniGhost shrunk until run-ahead translation
-// is provably stable for 64 processes (the parallel engine's enabling
-// condition); its low LLC-MPKI keeps most steps core-local, which is
-// the regime the paper's rate-mode experiments spend their time in.
-func benchStep64(b *testing.B, threads int) {
+// is provably stable for 64 processes (the parallel engine's stable
+// mode); its low LLC-MPKI keeps most steps core-local, which is the
+// regime the paper's rate-mode experiments spend their time in. A
+// non-zero epochCycles turns on timeline sampling (sequencer-side
+// epoch sampling plus the workers' epoch-crossing parks).
+func benchStep64(b *testing.B, threads int, epochCycles uint64) {
 	const scale = 512
 	cfg := config.Default(scale)
 	cfg.CPU.Cores = 64
@@ -48,11 +53,12 @@ func benchStep64(b *testing.B, threads int) {
 	b.StopTimer()
 	for i := 0; i < b.N; i++ {
 		sys, err := New(Options{
-			Config:   cfg,
-			Policy:   PolicyChameleonOpt,
-			Workload: prof,
-			Seed:     7,
-			Threads:  threads,
+			Config:              cfg,
+			Policy:              PolicyChameleonOpt,
+			Workload:            prof,
+			Seed:                7,
+			Threads:             threads,
+			TimelineEpochCycles: epochCycles,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -62,6 +68,11 @@ func benchStep64(b *testing.B, threads int) {
 		}
 		sys.ran = true
 		sys.runCtx = context.Background()
+		if epochCycles > 0 {
+			// Run seeds the first epoch boundary before the measured
+			// loop; this bench drives execute directly, so seed it here.
+			sys.nextEpoch.Store(epochCycles)
+		}
 		if err := sys.prefault(context.Background()); err != nil {
 			b.Fatal(err)
 		}

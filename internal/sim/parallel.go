@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 
 	"chameleon/internal/hier"
+	"chameleon/internal/trace"
 )
 
 // This file is the parallel execution engine: workers run cores ahead
@@ -44,15 +46,71 @@ import (
 // DeepEqual-identical to the sequential engine at any thread count
 // (TestParallelEquivalence pins this for every registered policy).
 //
-// # Run-ahead translation safety
+// # Commit-ordered side channels (timeline, capture, reference bits)
+//
+// The commit-safety rule above gives a stronger property than shared
+// -state ordering alone: when event (K, i) commits, every step with a
+// smaller (key, id) has fully executed. Three per-step side effects
+// exploit it to run under parallelism without breaking bit-identity:
+//
+//   - Timeline sampling. Only the sequencer samples. Every commit
+//     re-runs the sequential engine's epoch check at the committing
+//     step's position, and a fully-local step that would otherwise
+//     retire on its worker parks a no-op evEpoch event whenever its
+//     post-gap clock reaches the worker's (atomically loaded) next
+//     -epoch bound. That load can only lag the true bound — the
+//     sequencer alone advances it, and only at commits that precede the
+//     step in (key, id) order — so skipping the park is always sound
+//     and parking is at worst spurious. Samples and Options.Progress
+//     callbacks therefore fire in exact step order on one goroutine.
+//
+//   - Trace capture. Each worker tees the references it consumes into
+//     a per-core single-producer/single-consumer ring stamped with the
+//     step's commit key; before each commit the sequencer drains all
+//     rings in merged (key, id) order up to the committing event. The
+//     sink sees the sequential engine's exact Emit sequence, which is
+//     what makes threaded re-capture byte-identical (the CMTR writer's
+//     block layout depends only on global Emit order).
+//
+//   - CLOCK reference bits (evictable mode, below). Run-ahead ref-bit
+//     writes would reach the page table out of order and silently steer
+//     CLOCK victim selection away from the sequential run, so in
+//     evictable mode workers translate with TranslateMappedQuiet, log
+//     the touched frame in a second per-core ring, and the sequencer
+//     replays the bits in commit order through os.MarkReferenced.
+//
+// A core whose ring fills parks a no-op evSync event; committing it
+// (like any commit) drains the rings, then the core retries the step.
+//
+// # Run-ahead translation safety (eviction-safe mode)
 //
 // Workers translate mapped pages lock-free while the sequencer handles
-// faults. That is sound only if no page eviction can occur (evictions
-// are the only cross-process page-table mutation): New enables the
-// engine only when System.translationsStable proves every process's
-// whole virtual span fits in memory, and the sequencer re-checks
-// FreeBytes before each fault commit, turning a violated assumption
-// into a run error instead of a silent race.
+// faults. When System.translationsStable proves no eviction can ever
+// occur the engine runs in stable mode and the fast path is exactly
+// PR-era run-ahead. Otherwise it runs in evictable mode, built on the
+// osmodel page-table generation counter (seqlock style — it advances on
+// every eviction, the only cross-process page-table mutation):
+//
+//   - Workers validate the generation around each lock-free translation
+//     and park the step as a fault on any mismatch, handing the
+//     translation to the sequencer to replay authoritatively in order.
+//
+//   - When a committed fault must evict, the sequencer first fences the
+//     workers: it raises e.fence, waits until every worker is parked at
+//     the fence, asleep, or exited (no step mid-flight), then runs the
+//     eviction. Ref bits were replayed in commit order, so CLOCK picks
+//     the bit-identical victim.
+//
+//   - The undrained touch-ring entries are precisely the steps that
+//     sequentially follow the eviction but already translated against
+//     the pre-eviction table. If any of them resolved to the victim
+//     frame, their private-cache state is stale and cannot be rolled
+//     back: the pass aborts with ErrRunAheadCollision and RunContext
+//     transparently re-runs on a fresh sequential System (possible
+//     whenever no side channel has already escaped — see RunContext).
+//     Any other undrained translation is still valid — an eviction
+//     invalidates exactly one (process, vpage, frame) binding — so the
+//     fence drops and run-ahead resumes.
 //
 // # Liveness
 //
@@ -63,7 +121,10 @@ import (
 // laggard, with a watermark (wmKey/wmWait) armed so the laggard's next
 // publish at or past the key (or its park/finish) wakes the sequencer.
 // Workers re-check the watermark after every local step, so a signal
-// can be delayed by at most one step, never lost.
+// can be delayed by at most one step, never lost. While the fence is
+// up workers entering sleep or the fence signal the sequencer, whose
+// quiesce loop re-checks; nothing unparks cores mid-commit, so fenced
+// and sleeping workers stay put until the fence drops.
 
 // Core run states (parEngine.status).
 const (
@@ -75,19 +136,26 @@ const (
 // Event kinds (parEvent.kind).
 const (
 	evWalk  uint8 = iota // private walk spilled into the shared levels
-	evFault              // TranslateMapped missed; full fault path needed
+	evFault              // translation missed (or its generation went stale); full fault path needed
+	evEpoch              // fully-local step that may cross a timeline epoch; sample, then retire
+	evSync               // no step at all: the core's side-channel rings are full and must drain
 )
 
 // parEvent is one parked shared-phase event.
 type parEvent struct {
 	kind  uint8
 	write bool
+	// replay marks an evWalk for a replayed post-fault reference. The
+	// sequential engine samples the timeline only on the translate
+	// branch of a step, which replays skip — so the sequencer must not
+	// sample when committing a replayed walk either.
+	replay bool
 	// key is the commit key: the core's pre-step clock.
 	key uint64
 	// phys is the demand physical address (evWalk) or the faulting
 	// virtual address (evFault).
 	phys uint64
-	// stall is the private-prefix stall accrued so far (evWalk).
+	// stall is the private-prefix stall accrued so far (evWalk, evEpoch).
 	stall uint64
 }
 
@@ -96,11 +164,74 @@ type parEvent struct {
 // keeping owned cores loosely in time order.
 const parBatchSteps = 32
 
+// parRingCap is the per-core side-channel ring capacity (captured refs,
+// frame touches). A full ring parks an evSync event, so capacity only
+// bounds run-ahead between drains, not correctness.
+const (
+	parRingCap  = 1024
+	parRingMask = parRingCap - 1
+)
+
+// refRing is a single-producer/single-consumer ring of captured
+// references stamped with their step's commit key: the owning worker
+// pushes during run-ahead, the sequencer drains in commit order. head
+// and tail are free-running counters (masked on access); the atomic
+// tail store publishes entries, the atomic head store frees slots.
+type refRing struct {
+	key  [parRingCap]uint64
+	ref  [parRingCap]trace.Ref
+	head atomic.Uint64 // consumed by the sequencer
+	tail atomic.Uint64 // published by the worker
+}
+
+func (r *refRing) full() bool { return r.tail.Load()-r.head.Load() >= parRingCap }
+
+func (r *refRing) push(key uint64, ref trace.Ref) {
+	t := r.tail.Load()
+	r.key[t&parRingMask], r.ref[t&parRingMask] = key, ref
+	r.tail.Store(t + 1)
+}
+
+// touchRing is the frame-touch analogue of refRing: the CLOCK reference
+// bits a worker's quiet translations owe the page table, replayed by
+// the sequencer in commit order (evictable mode only).
+type touchRing struct {
+	key   [parRingCap]uint64
+	frame [parRingCap]uint32
+	head  atomic.Uint64
+	tail  atomic.Uint64
+}
+
+func (r *touchRing) full() bool { return r.tail.Load()-r.head.Load() >= parRingCap }
+
+func (r *touchRing) push(key uint64, frame uint32) {
+	t := r.tail.Load()
+	r.key[t&parRingMask], r.frame[t&parRingMask] = key, frame
+	r.tail.Store(t + 1)
+}
+
+// ErrRunAheadCollision marks the rare evictable-mode abort: a committed
+// fault evicted a frame that a sequentially-later step had already
+// translated against during run-ahead. The polluted private-cache state
+// cannot be rolled back, so the pass unwinds; RunContext retries the
+// whole run on a fresh sequential System when no side channel has
+// already escaped, and otherwise surfaces an error wrapping this
+// sentinel so callers that own their side channels (e.g. a server that
+// can reset a progress gauge) can rebuild and retry sequentially
+// themselves.
+var ErrRunAheadCollision = errors.New("run-ahead eviction collision")
+
 // parEngine is the parallel execution engine's shared state, built once
 // at System construction and reset by each executePar pass.
 type parEngine struct {
 	s       *System
 	threads int
+
+	// capturing tees worker-consumed references through per-core rings
+	// to the trace sink; evictable runs the generation-validated,
+	// fence-on-evict translation protocol. Both fixed at construction.
+	capturing bool
+	evictable bool
 
 	mu      sync.Mutex
 	seqCond *sync.Cond // sequencer waits here; workers signal it
@@ -111,6 +242,9 @@ type parEngine struct {
 	status []atomic.Int32 // coreRunning/coreParked/coreDone
 	event  []parEvent     // valid while status[i] == coreParked
 	ops    [][]hier.SharedOp
+
+	refs    []refRing   // per-core capture rings (capturing only)
+	touches []touchRing // per-core ref-bit rings (evictable only)
 
 	// pub[i] lower-bounds the commit key of core i's next parked event:
 	// the pre-step clock while a step is in flight (published at the end
@@ -124,6 +258,12 @@ type parEngine struct {
 	wmKey  atomic.Uint64
 	wmWait atomic.Bool
 
+	// fence halts workers between steps while the sequencer commits an
+	// evicting fault; fencing mirrors it under mu for the condvar
+	// protocol.
+	fence   atomic.Bool
+	fencing bool
+
 	nDone   int // cores done this pass; guarded by mu
 	stopped bool
 	stop    atomic.Bool
@@ -136,22 +276,33 @@ type parWorker struct {
 	id      int
 	lo, hi  int
 	waiting bool // parked in cond.Wait; guarded by eng.mu
+	fenced  bool // parked at the eviction fence; guarded by eng.mu
+	exited  bool // run() returned this pass; guarded by eng.mu
 	cond    *sync.Cond
 }
 
 // newParEngine builds the engine for threads workers. Cores are split
 // into contiguous chunks so one worker's hot SoA entries stay off its
-// neighbours' cache lines.
+// neighbours' cache lines. Call it after the trace sink is attached:
+// capture and eviction modes latch here.
 func newParEngine(s *System, threads int) *parEngine {
 	n := s.cores.n()
 	e := &parEngine{
-		s:       s,
-		threads: threads,
-		owner:   make([]*parWorker, n),
-		status:  make([]atomic.Int32, n),
-		event:   make([]parEvent, n),
-		ops:     make([][]hier.SharedOp, n),
-		pub:     make([]atomic.Uint64, n),
+		s:         s,
+		threads:   threads,
+		capturing: s.sinkOn,
+		evictable: !s.translationsStable(),
+		owner:     make([]*parWorker, n),
+		status:    make([]atomic.Int32, n),
+		event:     make([]parEvent, n),
+		ops:       make([][]hier.SharedOp, n),
+		pub:       make([]atomic.Uint64, n),
+	}
+	if e.capturing {
+		e.refs = make([]refRing, n)
+	}
+	if e.evictable {
+		e.touches = make([]touchRing, n)
 	}
 	e.seqCond = sync.NewCond(&e.mu)
 	for i := range e.ops {
@@ -180,14 +331,25 @@ func (s *System) executePar(budget uint64) error {
 	e.stop.Store(false)
 	e.nDone = 0
 	e.wmWait.Store(false)
+	e.fence.Store(false)
+	e.fencing = false
 	for i := 0; i < c.n(); i++ {
 		e.status[i].Store(coreRunning)
 		e.pub[i].Store(c.time[i])
 	}
 	var wg sync.WaitGroup
 	for _, w := range e.workers {
+		w.exited = false
+		w.fenced = false
 		wg.Add(1)
-		go func(w *parWorker) { defer wg.Done(); w.run() }(w)
+		go func(w *parWorker) {
+			defer wg.Done()
+			w.run()
+			e.mu.Lock()
+			w.exited = true
+			e.mu.Unlock()
+			e.seqCond.Signal()
+		}(w)
 	}
 	err := e.sequence()
 	e.mu.Lock()
@@ -197,7 +359,7 @@ func (s *System) executePar(budget uint64) error {
 		e.err = err
 	}
 	for _, w := range e.workers {
-		if w.waiting {
+		if w.waiting || w.fenced {
 			w.waiting = false
 			w.cond.Signal()
 		}
@@ -226,7 +388,8 @@ func (s *System) mergeTouches() {
 
 // sequence is the commit loop, run on executePar's goroutine: pick the
 // parked event with the smallest (key, id), wait out laggards that
-// could still produce an earlier one, commit it, and unpark the core.
+// could still produce an earlier one, drain the side-channel rings up
+// to that position, commit it, and unpark the core.
 func (e *parEngine) sequence() error {
 	s := e.s
 	c := &s.cores
@@ -239,6 +402,13 @@ func (e *parEngine) sequence() error {
 			return e.err
 		}
 		if e.nDone == n {
+			if e.capturing || e.evictable {
+				// Flush the tail: every step has executed, so the rings
+				// drain to empty in (key, id) order.
+				e.mu.Unlock()
+				e.drainLogs(math.MaxUint64, n)
+				e.mu.Lock()
+			}
 			return nil
 		}
 		// Minimum (key, id) over parked events; ascending id keeps the
@@ -274,6 +444,12 @@ func (e *parEngine) sequence() error {
 			continue
 		}
 		e.mu.Unlock()
+		if e.capturing || e.evictable {
+			// Commit safety makes every step before (bestKey, best) fully
+			// executed and its ring entries published, so this drain
+			// reproduces the sequential prefix exactly.
+			e.drainLogs(bestKey, best)
+		}
 		err := e.commit(best)
 		if commits++; err == nil && commits >= ctxCheckInterval {
 			commits = 0
@@ -305,32 +481,234 @@ func (e *parEngine) seqWaitLocked(key uint64) {
 	e.wmWait.Store(false)
 }
 
+// drainLogs replays side-channel ring entries up to and including the
+// commit position (bk, bi): CLOCK reference bits (order among them is
+// immaterial — each just sets a bit — but all must land before any
+// later eviction consults them) and captured references (merged across
+// cores so the sink sees the sequential Emit order).
+func (e *parEngine) drainLogs(bk uint64, bi int) {
+	if e.evictable {
+		e.drainTouches(bk, bi)
+	}
+	if e.capturing {
+		e.drainRefs(bk, bi)
+	}
+}
+
+// drainTouches applies logged frame touches with (key, id) <= (bk, bi)
+// as CLOCK reference bits. Entries appended concurrently carry larger
+// keys (commit safety), so a tail snapshot suffices.
+func (e *parEngine) drainTouches(bk uint64, bi int) {
+	s := e.s
+	for i := range e.touches {
+		r := &e.touches[i]
+		h, t := r.head.Load(), r.tail.Load()
+		for ; h != t; h++ {
+			k := r.key[h&parRingMask]
+			if k > bk || (k == bk && i > bi) {
+				break
+			}
+			s.os.MarkReferenced(r.frame[h&parRingMask])
+		}
+		r.head.Store(h)
+	}
+}
+
+// drainRefs emits captured references with (key, id) <= (bk, bi) to
+// the trace sink in the scheduler's global (key, id) order. Per-core
+// rings are key-sorted (keys are pre-step clocks), so a k-way merge
+// over the ring heads reproduces the sequential Emit sequence — the
+// property that makes threaded re-capture byte-identical.
+func (e *parEngine) drainRefs(bk uint64, bi int) {
+	s := e.s
+	for {
+		best := -1
+		var bestKey uint64
+		for i := range e.refs {
+			r := &e.refs[i]
+			h := r.head.Load()
+			if h == r.tail.Load() {
+				continue
+			}
+			k := r.key[h&parRingMask]
+			if k > bk || (k == bk && i > bi) {
+				continue
+			}
+			if best < 0 || k < bestKey {
+				best, bestKey = i, k
+			}
+		}
+		if best < 0 {
+			return
+		}
+		r := &e.refs[best]
+		h := r.head.Load()
+		s.opts.TraceSink.Emit(best, r.ref[h&parRingMask])
+		r.head.Store(h + 1)
+	}
+}
+
 // commit executes core i's parked shared-phase event. It is the only
 // place shared simulation state (LLC, controller, devices, OS tables)
-// mutates during a parallel pass.
+// mutates during a parallel pass, and — matching the sequential step
+// order — the only place timeline samples are taken.
 func (e *parEngine) commit(i int) error {
 	s := e.s
 	c := &s.cores
 	ev := &e.event[i]
-	if ev.kind == evFault {
+	switch ev.kind {
+	case evFault:
+		var phys uint64
+		var stall uint64
 		if s.os.FreeBytes() < s.os.Config().PageBytes {
-			return fmt.Errorf("sim: parallel engine: fault at core %d would evict a page, violating the translation-stability bound; rerun with Threads=1", i)
+			if !e.evictable {
+				return fmt.Errorf("sim: parallel engine: fault at core %d would evict a page, violating the translation-stability bound; rerun with Threads=1", i)
+			}
+			p, st, err := e.evictingTranslate(i, ev)
+			if err != nil {
+				return err
+			}
+			phys, stall = uint64(p), st
+		} else {
+			p, st := s.os.Translate(c.proc[i], ev.phys, c.time[i])
+			phys, stall = uint64(p), st
 		}
-		phys, stall := s.os.Translate(c.proc[i], ev.phys, c.time[i])
+		if s.timelineOn {
+			// Sequential order within a fault step: translate, sample,
+			// then the stall (c.time[i] is still the post-gap clock here).
+			s.sampleTimeline(c.time[i])
+		}
 		if stall > 0 {
 			c.time[i] += stall
 			c.faultCycles[i] += stall
 			c.pendingValid[i] = true
-			c.pendingPhys[i] = uint64(phys)
+			c.pendingPhys[i] = phys
 			c.pendingWrite[i] = ev.write
 			return nil
 		}
-		s.finishStep(i, uint64(phys), ev.write)
+		s.finishStep(i, phys, ev.write)
 		return nil
+	case evEpoch:
+		if s.timelineOn {
+			s.sampleTimeline(c.time[i])
+		}
+		// Retire the fully-local step the worker deferred for sampling.
+		c.time[i] += ev.stall
+		return nil
+	case evSync:
+		// The pre-commit drain already emptied this core's rings; the
+		// worker retries the step it never started.
+		return nil
+	}
+	if s.timelineOn && !ev.replay {
+		s.sampleTimeline(c.time[i])
 	}
 	stall, llcMiss, victims := s.hier.AccessShared(i, ev.write, e.ops[i], ev.stall, c.time[i])
 	s.applyWalk(i, ev.phys, stall, llcMiss, victims)
 	return nil
+}
+
+// evictingTranslate commits a fault that must evict: quiesce the
+// workers behind the fence, run the authoritative translation (CLOCK
+// sees the commit-ordered reference bits, so it picks the sequential
+// victim), and verify no run-ahead step already translated against the
+// reclaimed frame. The page-table generation the eviction bumps is what
+// workers validate against once the fence drops.
+func (e *parEngine) evictingTranslate(i int, ev *parEvent) (phys uint64, stall uint64, err error) {
+	s := e.s
+	c := &s.cores
+	if err := e.quiesce(); err != nil {
+		return 0, 0, err
+	}
+	defer e.unfence()
+	gen := s.os.PageGen()
+	p, st := s.os.Translate(c.proc[i], ev.phys, c.time[i])
+	if s.os.PageGen() != gen {
+		victim := s.os.LastEvictedFrame()
+		if e.victimTouched(victim) {
+			return 0, 0, fmt.Errorf("sim: parallel engine: committed fault on core %d evicted frame %d already used by a run-ahead translation: %w", i, victim, ErrRunAheadCollision)
+		}
+	}
+	return uint64(p), st, nil
+}
+
+// victimTouched reports whether any undrained run-ahead translation
+// resolved to the victim frame. Undrained touch entries are exactly the
+// steps that sequentially follow the eviction but translated against
+// the pre-eviction page table — the set whose private-cache state would
+// be stale. An eviction invalidates exactly one (process, vpage, frame)
+// binding, so every other undrained translation remains valid.
+func (e *parEngine) victimTouched(victim uint32) bool {
+	for i := range e.touches {
+		r := &e.touches[i]
+		for h, t := r.head.Load(), r.tail.Load(); h != t; h++ {
+			if r.frame[h&parRingMask] == victim {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// quiesce raises the eviction fence and waits until no worker is
+// mid-step: each is parked at the fence, asleep with every owned core
+// parked or done, or exited. Nothing unparks cores while the sequencer
+// is here, so the quiescent state holds until unfence.
+func (e *parEngine) quiesce() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.fencing = true
+	e.fence.Store(true)
+	for !e.quiescedLocked() {
+		if e.stopped {
+			e.fencing = false
+			e.fence.Store(false)
+			if e.err != nil {
+				return e.err
+			}
+			return fmt.Errorf("sim: parallel engine: pass stopped during eviction fence")
+		}
+		e.seqCond.Wait()
+	}
+	return nil
+}
+
+func (e *parEngine) quiescedLocked() bool {
+	for _, w := range e.workers {
+		if !(w.fenced || w.waiting || w.exited) {
+			return false
+		}
+	}
+	return true
+}
+
+// unfence drops the eviction fence and releases fence-parked workers.
+func (e *parEngine) unfence() {
+	e.mu.Lock()
+	e.fencing = false
+	e.fence.Store(false)
+	for _, w := range e.workers {
+		if w.fenced {
+			w.cond.Signal()
+		}
+	}
+	e.mu.Unlock()
+}
+
+// fenceWait parks the calling worker at the eviction fence until the
+// sequencer drops it (or the pass stops).
+func (w *parWorker) fenceWait() {
+	e := w.eng
+	e.mu.Lock()
+	if e.fencing {
+		w.fenced = true
+		e.seqCond.Signal()
+		for e.fencing && !e.stopped {
+			w.cond.Wait()
+		}
+		w.fenced = false
+	}
+	e.mu.Unlock()
 }
 
 // fail records the first error and wakes everyone so the pass unwinds.
@@ -342,7 +720,7 @@ func (e *parEngine) fail(err error) {
 	e.stopped = true
 	e.stop.Store(true)
 	for _, w := range e.workers {
-		if w.waiting {
+		if w.waiting || w.fenced {
 			w.waiting = false
 			w.cond.Signal()
 		}
@@ -354,7 +732,8 @@ func (e *parEngine) fail(err error) {
 // run is a worker's main loop: pick the owned runnable core with the
 // smallest clock, run it for up to parBatchSteps local steps, repeat;
 // sleep when every owned core is parked, exit when all are done or the
-// pass stops.
+// pass stops. The eviction fence is honoured between steps, so a fence
+// raised mid-step waits at most one step's work.
 func (w *parWorker) run() {
 	e := w.eng
 	s := e.s
@@ -371,6 +750,10 @@ func (w *parWorker) run() {
 		for k := 0; k < parBatchSteps; k++ {
 			if e.stop.Load() {
 				return
+			}
+			if e.fence.Load() {
+				w.fenceWait()
+				break
 			}
 			if steps++; steps >= ctxCheckInterval {
 				steps = 0
@@ -432,6 +815,10 @@ func (w *parWorker) sleep() (exit bool) {
 			return true
 		}
 		w.waiting = true
+		if e.fencing {
+			// A sleeping worker is quiescent; tell the fencing sequencer.
+			e.seqCond.Signal()
+		}
 		w.cond.Wait()
 	}
 }
@@ -439,43 +826,96 @@ func (w *parWorker) sleep() (exit bool) {
 // stepLocal runs one step's core-local prefix on core i, parking the
 // shared suffix if the step needs one. It reports whether the core
 // parked. It mirrors System.step minus the features the engine's
-// fallback conditions exclude (phases, timeline, AutoNUMA, sinks).
+// remaining fallback conditions exclude (allocation-churn phases,
+// AutoNUMA); timeline sampling and trace capture are deferred to the
+// sequencer through evEpoch events and the capture rings.
 func (w *parWorker) stepLocal(i int) (parked bool) {
 	e := w.eng
 	s := e.s
 	c := &s.cores
 	key := c.time[i] // pre-step clock = commit key; pub[i] already equals it
+	if (e.capturing && e.refs[i].full()) || (e.evictable && e.touches[i].full()) {
+		// Out of side-channel room: park a no-op sync event so the
+		// sequencer drains the rings in commit order, then retry.
+		e.event[i] = parEvent{kind: evSync, key: key}
+		w.park(i, key)
+		return true
+	}
+	replay := c.pendingValid[i]
 	var p uint64
 	var write bool
-	if c.pendingValid[i] {
-		// Replay the reference whose fault the sequencer committed.
+	if replay {
+		// Replay the reference whose fault the sequencer committed. Like
+		// the sequential replay path this neither re-translates nor
+		// re-captures nor samples: the fault commit accounted for all
+		// three.
 		p, write = c.pendingPhys[i], c.pendingWrite[i]
 		c.pendingValid[i] = false
 	} else {
 		ref := c.stream[i].Next()
+		if e.capturing {
+			e.refs[i].push(key, ref)
+		}
 		c.instr[i] += ref.Gap
 		c.time[i] += ref.Gap * s.baseCPIx1000 / 1000
-		phys, onFast, ok := s.os.TranslateMapped(c.proc[i], ref.VAddr)
-		if !ok {
-			e.event[i] = parEvent{kind: evFault, write: ref.Write, key: key, phys: ref.VAddr}
-			w.park(i, key)
-			return true
+		var ok, onFast bool
+		if e.evictable {
+			// Seqlock-style validation: an eviction bumps the page-table
+			// generation, so a stable read brackets a translation no
+			// eviction raced with. The reference bit is logged, not set —
+			// the sequencer replays bits in commit order so CLOCK victim
+			// selection stays bit-identical.
+			gen := s.os.PageGen()
+			phys, frame, fast, mapped := s.os.TranslateMappedQuiet(c.proc[i], ref.VAddr)
+			onFast, ok = fast, mapped
+			if !ok || s.os.PageGen() != gen {
+				// Unmapped, or the translation went stale: discard it and
+				// let the sequencer replay the fault path authoritatively
+				// at this step's commit position.
+				e.event[i] = parEvent{kind: evFault, write: ref.Write, key: key, phys: ref.VAddr}
+				w.park(i, key)
+				return true
+			}
+			e.touches[i].push(key, frame)
+			p = uint64(phys)
+		} else {
+			phys, fast, mapped := s.os.TranslateMapped(c.proc[i], ref.VAddr)
+			onFast, ok = fast, mapped
+			if !ok {
+				e.event[i] = parEvent{kind: evFault, write: ref.Write, key: key, phys: ref.VAddr}
+				w.park(i, key)
+				return true
+			}
+			p = uint64(phys)
 		}
 		c.touchTotal[i]++
 		if onFast {
 			c.touchFast[i]++
 		}
-		p, write = uint64(phys), ref.Write
+		write = ref.Write
 	}
 	stall, hit, ops := s.hier.AccessPrivate(i, p, write, c.time[i], e.ops[i][:0])
 	e.ops[i] = ops
 	if hit && len(ops) == 0 {
+		if s.timelineOn && !replay {
+			if next := s.nextEpoch.Load(); next != 0 && c.time[i] >= next {
+				// The step may cross an epoch boundary. The loaded bound
+				// can only lag the true one (the sequencer alone advances
+				// it, at commits that precede this step), so skipping the
+				// park is always sound and parking is at worst spurious:
+				// the sequencer re-checks at commit and samples in exact
+				// step order.
+				e.event[i] = parEvent{kind: evEpoch, key: key, stall: stall}
+				w.park(i, key)
+				return true
+			}
+		}
 		// Fully local step: retire and publish the advanced clock.
 		c.time[i] += stall
 		w.publish(i, c.time[i])
 		return false
 	}
-	e.event[i] = parEvent{kind: evWalk, write: write, key: key, phys: p, stall: stall}
+	e.event[i] = parEvent{kind: evWalk, write: write, replay: replay, key: key, phys: p, stall: stall}
 	w.park(i, key)
 	return true
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -93,6 +94,17 @@ type Result struct {
 	NUMATimeline []osmodel.EpochRecord
 	// Timeline is populated when Options.TimelineEpochCycles is set.
 	Timeline []TimelinePoint
+
+	// Engine reports which execution engine ran the simulation:
+	// EngineParallel when the commit-sequencer engine was active, else
+	// EngineSequential. Every simulation counter above is bit-identical
+	// either way; Engine is run provenance, not a metric.
+	Engine string
+	// FallbackReason is non-empty when Options.Threads requested
+	// parallelism but the run executed sequentially anyway (one of the
+	// Fallback* constants). Empty for parallel runs and for runs that
+	// never asked for threads.
+	FallbackReason string `json:",omitempty"`
 }
 
 // Run executes instrPerCore instructions on every core and returns the
@@ -108,7 +120,46 @@ func (s *System) Run(instrPerCore uint64) (*Result, error) {
 // references), so a deadline or an explicit cancel stops a runaway
 // simulation promptly. The returned error wraps ctx.Err() when the run
 // was cut short.
+//
+// A parallel pass can abort with ErrRunAheadCollision when a committed
+// eviction reclaims a frame a run-ahead step already translated
+// against (rare: the workload must evict AND the victim must be hot on
+// another core within the run-ahead window). When no side channel has
+// escaped the aborted run — no trace sink, no Progress callback, no
+// externally owned Sources — RunContext transparently replays the
+// whole run on a fresh sequential System built from the same options;
+// the result is the bit-exact sequential answer with
+// Result.FallbackReason set to FallbackEvictionCollision.
 func (s *System) RunContext(ctx context.Context, instrPerCore uint64) (*Result, error) {
+	res, err := s.runContext(ctx, instrPerCore)
+	if err != nil && errors.Is(err, ErrRunAheadCollision) && s.canRetrySequential() {
+		o := s.opts
+		o.Threads = 1
+		seq, nerr := New(o)
+		if nerr != nil {
+			return nil, err
+		}
+		res, err = seq.runContext(ctx, instrPerCore)
+		if err == nil {
+			res.Engine = EngineSequential
+			res.FallbackReason = FallbackEvictionCollision
+		}
+	}
+	return res, err
+}
+
+// canRetrySequential reports whether an aborted parallel run may be
+// replayed on a fresh System: only when the aborted pass produced no
+// externally visible side effects. A trace sink has already received
+// a partial capture, a Progress callback may have fired, and Sources
+// are stateful streams the aborted run partially consumed — any of
+// those makes a silent replay wrong, so the collision surfaces as an
+// error instead.
+func (s *System) canRetrySequential() bool {
+	return !s.sinkOn && s.opts.Progress == nil && len(s.opts.Sources) == 0
+}
+
+func (s *System) runContext(ctx context.Context, instrPerCore uint64) (*Result, error) {
 	if instrPerCore == 0 {
 		return nil, fmt.Errorf("sim: instruction budget must be positive")
 	}
@@ -158,7 +209,7 @@ func (s *System) RunContext(ctx context.Context, instrPerCore uint64) (*Result, 
 		faults0[i] = c.faultCycles[i]
 	}
 	if s.opts.TimelineEpochCycles > 0 {
-		s.nextEpoch = t0 + s.opts.TimelineEpochCycles
+		s.nextEpoch.Store(t0 + s.opts.TimelineEpochCycles)
 	}
 	if err := s.execute(instrPerCore); err != nil {
 		return nil, err
@@ -167,9 +218,14 @@ func (s *System) RunContext(ctx context.Context, instrPerCore uint64) (*Result, 
 }
 
 // sampleTimeline records a TimelinePoint when the given time crosses
-// the next epoch boundary.
+// the next epoch boundary. Called only from the goroutine that orders
+// step commits (the sequential loop or the parallel sequencer); the
+// atomic nextEpoch accesses publish the advancing bound to run-ahead
+// workers, which read it to decide whether a local step must park for
+// sampling.
 func (s *System) sampleTimeline(now uint64) {
-	if s.nextEpoch == 0 || now < s.nextEpoch {
+	next := s.nextEpoch.Load()
+	if next == 0 || now < next {
 		return
 	}
 	p := TimelinePoint{Cycle: now, StackedHitRate: s.ctrl.Stats().HitRate()}
@@ -177,9 +233,10 @@ func (s *System) sampleTimeline(now uint64) {
 		p.CacheModeFraction = md.CacheModeFraction()
 	}
 	s.timeline = append(s.timeline, p)
-	for s.nextEpoch <= now {
-		s.nextEpoch += s.opts.TimelineEpochCycles
+	for next <= now {
+		next += s.opts.TimelineEpochCycles
 	}
+	s.nextEpoch.Store(next)
 	if s.opts.Progress != nil {
 		s.opts.Progress(p)
 	}
@@ -545,6 +602,12 @@ func (s *System) collect(start, instr0, faults0 []uint64) *Result {
 		r.NUMATimeline = s.auto.Timeline()
 	}
 	r.Timeline = s.timeline
+	if s.par != nil && !s.linearSched && !s.inlineWalk {
+		r.Engine = EngineParallel
+	} else {
+		r.Engine = EngineSequential
+		r.FallbackReason = s.fallback
+	}
 	s.collectTiers(r)
 	return r
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 
 	"chameleon/internal/addr"
 	"chameleon/internal/config"
@@ -101,22 +102,26 @@ type Options struct {
 	// park on shared-phase events (LLC, memory controller, page
 	// faults), which a sequencer commits in the scheduler's global
 	// (time, id) order — so results are bit-identical to the sequential
-	// engine at any thread count (see TestParallelEquivalence). The
-	// engine silently falls back to sequential execution when a feature
-	// serializes every step anyway (trace capture, timeline sampling,
-	// allocation-churn phases, AutoNUMA) or when the working set could
-	// trigger page evictions, which would make run-ahead translation
-	// unsafe (see System.translationsStable).
+	// engine at any thread count (see TestParallelEquivalence). Timeline
+	// sampling and trace capture run under parallelism (the sequencer
+	// samples and flushes captured references in commit order), and a
+	// possibly-evicting footprint runs in the engine's eviction-safe
+	// mode (page-table generation validation plus a commit fence; see
+	// parallel.go). The engine still falls back to sequential execution
+	// — reported via Result.Engine/Result.FallbackReason — for
+	// allocation-churn phases and AutoNUMA, whose per-step OS work is
+	// inherently serial.
 	Threads int
 	// TraceSink, when non-nil, receives every per-core reference the
 	// run consumes — warm-up included — in consumption order, making
 	// the run recordable (see internal/memtrace.Writer). Begin is
 	// called once during New with the resolved per-core profiles.
 	// Concurrency contract: Emit is invoked only from the goroutine
-	// that sequences step commits, in commit order — a recording run
-	// executes on the sequential engine regardless of Threads — so
-	// single-goroutine sinks keep working unchanged at any thread
-	// count.
+	// that sequences step commits, in commit order — under the parallel
+	// engine workers tee references into per-core rings and the
+	// sequencer flushes them in the scheduler's exact order — so
+	// single-goroutine sinks keep working unchanged, and re-capture
+	// stays byte-identical, at any thread count.
 	TraceSink trace.Sink `json:"-"`
 	// Sources supplies pre-built per-core reference streams: core i
 	// runs Sources[i], overriding the synthetic Workload/Mix/Copies
@@ -128,11 +133,11 @@ type Options struct {
 	// Progress, when non-nil, receives every TimelinePoint as it is
 	// sampled during the measured run (requires TimelineEpochCycles).
 	// Concurrency contract: like TraceSink.Emit it is invoked only from
-	// the goroutine that sequences step commits, in commit order — a
-	// timeline-sampling run executes on the sequential engine
-	// regardless of Threads — so existing single-goroutine callbacks
-	// need no locking. Long-running or blocking callbacks slow the
-	// simulation down.
+	// the goroutine that sequences step commits, in commit order —
+	// under the parallel engine that is the sequencer goroutine, which
+	// samples epochs at the exact step positions the sequential engine
+	// would — so existing single-goroutine callbacks need no locking.
+	// Long-running or blocking callbacks slow the simulation down.
 	Progress func(TimelinePoint) `json:"-"`
 }
 
@@ -221,9 +226,13 @@ type System struct {
 	heapIdx []int32
 	// par is the parallel execution engine, non-nil when Options.Threads
 	// asked for more than one worker AND the run qualifies (no
-	// serializing features, translations stable). execute routes
-	// through it unless a test reference path is forced.
+	// inherently serial feature — see fallback). execute routes through
+	// it unless a test reference path is forced.
 	par *parEngine
+	// fallback records why a Threads>1 request fell back to the
+	// sequential engine ("" when parallel ran or was never requested);
+	// surfaced as Result.FallbackReason.
+	fallback string
 
 	// runName is the result's workload label, fixed at construction:
 	// the profile name, the "+"-joined mix, or a replayed trace's
@@ -257,9 +266,35 @@ type System struct {
 	// wbScratch is walkInline's reusable victim buffer.
 	wbScratch []hier.Victim
 
-	nextEpoch uint64
+	// nextEpoch is the next timeline-epoch boundary. Atomic because the
+	// parallel engine's workers read it lock-free to decide whether a
+	// fully-local step must park for sequencer-side sampling; only the
+	// sampling goroutine (sequential loop or sequencer) advances it.
+	nextEpoch atomic.Uint64
 	timeline  []TimelinePoint
 }
+
+// Result.Engine values.
+const (
+	EngineSequential = "sequential"
+	EngineParallel   = "parallel"
+)
+
+// Result.FallbackReason values: why a Threads>1 request ran on the
+// sequential engine anyway.
+const (
+	// FallbackAllocPhases: allocation-churn phases map and free memory
+	// on the hot path, an inherently serial OS mutation per step.
+	FallbackAllocPhases = "alloc-phases"
+	// FallbackAutoNUMA: the migration engine ticks on every step and
+	// mutates page placement, serialising the translation path.
+	FallbackAutoNUMA = "autonuma"
+	// FallbackEvictionCollision: a parallel pass aborted because a
+	// committed eviction reclaimed a frame a run-ahead step had already
+	// translated against, and the run was transparently replayed on the
+	// sequential engine (see RunContext).
+	FallbackEvictionCollision = "eviction-collision"
+)
 
 // TimelinePoint is one sample of the optional run timeline.
 type TimelinePoint struct {
@@ -437,13 +472,6 @@ func New(opts Options) (*System, error) {
 	if uint64(copies)*perProc > osCfg.TotalBytes*4 {
 		return nil, fmt.Errorf("sim: footprint %d x%d implausibly exceeds capacity %d", perProc, copies, osCfg.TotalBytes)
 	}
-	if thr := min(opts.Threads, copies); thr > 1 &&
-		!s.phaseOn && !s.timelineOn && !s.autoOn && s.translationsStable() {
-		// sinkOn is latched below; New checks opts.TraceSink directly.
-		if opts.TraceSink == nil {
-			s.par = newParEngine(s, thr)
-		}
-	}
 	s.runName = opts.Workload.Name
 	if len(opts.Mix) > 0 {
 		// A consolidated mix has no single name; join the mix entries
@@ -464,17 +492,33 @@ func New(opts Options) (*System, error) {
 		}
 		s.sinkOn = true
 	}
+	// Parallel-engine gate, after sinkOn so the engine can latch its
+	// capture mode. Timeline sampling, trace capture and possibly
+	// -evicting footprints all run under parallelism now; only the two
+	// inherently serial features force the sequential engine.
+	if thr := min(opts.Threads, copies); thr > 1 {
+		switch {
+		case s.phaseOn:
+			s.fallback = FallbackAllocPhases
+		case s.autoOn:
+			s.fallback = FallbackAutoNUMA
+		default:
+			s.par = newParEngine(s, thr)
+		}
+	}
 	return s, nil
 }
 
-// translationsStable reports whether run-ahead translation is safe: no
-// page eviction can ever occur, because every process's whole virtual
-// span fits in physical memory simultaneously. Evictions are the only
-// cross-process page-table mutation, so under this bound the parallel
-// engine's lock-free TranslateMapped reads race with nothing (the
-// sequencer additionally guards every fault commit with a free-memory
-// check, turning a violated assumption into a run error instead of a
-// silent nondeterminism).
+// translationsStable reports whether run-ahead translation is trivially
+// safe: no page eviction can ever occur, because every process's whole
+// virtual span fits in physical memory simultaneously. Evictions are
+// the only cross-process page-table mutation, so under this bound the
+// parallel engine's lock-free TranslateMapped reads race with nothing
+// and it runs in its direct (stable) mode. When the bound does not
+// hold the engine no longer falls back: it runs in eviction-safe mode,
+// validating the osmodel page-table generation around each lock-free
+// translation and fencing workers across committed evictions (see
+// parallel.go's "Run-ahead translation safety" section).
 func (s *System) translationsStable() bool {
 	page := s.os.Config().PageBytes
 	var need uint64

@@ -102,7 +102,11 @@ type Source interface {
 // called once, before any references flow, with the run's workload
 // name and the resolved per-core profiles; Emit is the hot path and
 // must not block or allocate. Emit-time failures latch inside the sink
-// and surface from its own close/flush API.
+// and surface from its own close/flush API. Callers guarantee Emit is
+// invoked from a single goroutine at a time, in the simulation's
+// committed step order — sim's parallel engine buffers worker-side
+// references and has its sequencer flush them in that order — so
+// implementations need no locking.
 type Sink interface {
 	Begin(runName string, cores []Profile) error
 	Emit(core int, r Ref)
